@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks of the ShapeShifter codec: encode, decode
+//! and the analytic measure path, across group sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ss_core::ShapeShifterCodec;
+use ss_models::ValueGen;
+use ss_tensor::FixedType;
+
+fn tensor(n: usize) -> ss_tensor::Tensor {
+    ValueGen::from_width_target(5.0, 0.5, FixedType::U16).tensor_flat(n, 42)
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let t = tensor(1 << 16);
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(t.len() as u64));
+    for group in [16usize, 64, 256] {
+        let codec = ShapeShifterCodec::new(group);
+        g.bench_with_input(BenchmarkId::new("encode", group), &codec, |b, codec| {
+            b.iter(|| codec.encode(&t).unwrap());
+        });
+        let enc = codec.encode(&t).unwrap();
+        g.bench_with_input(BenchmarkId::new("decode", group), &codec, |b, codec| {
+            b.iter(|| codec.decode(&enc).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("measure", group), &codec, |b, codec| {
+            b.iter(|| codec.measure(&t));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

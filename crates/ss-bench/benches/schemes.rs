@@ -1,0 +1,31 @@
+//! Criterion micro-benchmarks of the traffic schemes on a realistic
+//! layer-sized tensor.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ss_core::scheme::{
+    Base, CompressionScheme, ProfileScheme, SchemeCtx, ShapeShifterScheme, ZeroRle,
+};
+use ss_models::ValueGen;
+use ss_tensor::FixedType;
+
+fn bench_schemes(c: &mut Criterion) {
+    let t = ValueGen::from_width_target(4.5, 0.5, FixedType::U16).tensor_flat(1 << 18, 7);
+    let ctx = SchemeCtx::profiled(11);
+    let mut g = c.benchmark_group("schemes");
+    g.throughput(Throughput::Elements(t.len() as u64));
+    let ss = ShapeShifterScheme::default();
+    let rle = ZeroRle::default();
+    let schemes: Vec<(&str, &dyn CompressionScheme)> = vec![
+        ("base", &Base),
+        ("profile", &ProfileScheme),
+        ("shapeshifter", &ss),
+        ("zero_rle", &rle),
+    ];
+    for (name, scheme) in schemes {
+        g.bench_function(name, |b| b.iter(|| scheme.compressed_bits(&t, &ctx)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

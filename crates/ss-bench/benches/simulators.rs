@@ -1,0 +1,33 @@
+//! Criterion benchmarks of whole-network simulation: one AlexNet-scale
+//! run per accelerator (scaled 1/4 to keep the benchmark wall-clock
+//! reasonable while preserving layer diversity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ss_core::scheme::ShapeShifterScheme;
+use ss_sim::accel::{Accelerator, BitFusion, DaDianNao, Loom, SStripes, Scnn, Stripes};
+use ss_sim::sim::{simulate, SimConfig};
+
+fn bench_simulators(c: &mut Criterion) {
+    let net = ss_models::zoo::alexnet().scaled_down(4);
+    let cfg = SimConfig::default();
+    let scheme = ShapeShifterScheme::default();
+    let mut g = c.benchmark_group("simulate_alexnet_quarter");
+    g.sample_size(10);
+    let accels: Vec<(&str, Box<dyn Accelerator>)> = vec![
+        ("dadiannao", Box::new(DaDianNao::new())),
+        ("stripes", Box::new(Stripes::new())),
+        ("sstripes", Box::new(SStripes::new())),
+        ("bitfusion", Box::new(BitFusion::new())),
+        ("scnn", Box::new(Scnn::new())),
+        ("loom", Box::new(Loom::new())),
+    ];
+    for (name, accel) in &accels {
+        g.bench_function(*name, |b| {
+            b.iter(|| simulate(&net, accel.as_ref(), &scheme, &cfg, 1));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

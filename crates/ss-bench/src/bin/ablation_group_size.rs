@@ -1,0 +1,5 @@
+//! Regenerates the corresponding ablation/extension study; see `ss_bench::figs`.
+
+fn main() -> std::io::Result<()> {
+    ss_bench::figs::ablation_group_size::run(&mut std::io::stdout().lock())
+}

@@ -1,0 +1,5 @@
+//! Regenerates the corresponding ablation/extension study; see `ss_bench::figs`.
+
+fn main() -> std::io::Result<()> {
+    ss_bench::figs::ext_onchip::run(&mut std::io::stdout().lock())
+}

@@ -1,0 +1,5 @@
+//! Regenerates the corresponding paper experiment; see `ss_bench::figs`.
+
+fn main() -> std::io::Result<()> {
+    ss_bench::figs::fig04_avg_width::run(&mut std::io::stdout().lock())
+}

@@ -1,0 +1,82 @@
+//! Extension: ShapeShifter-Tartan — the evaluation the paper defers
+//! ("ShapeShifter is directly compatible with Tartan and would increase
+//! benefits by adjusting precisions per weight group instead. Due to
+//! limited space an evaluation of this design is left for future work",
+//! §6).
+//!
+//! Compares Tartan (per-layer profiled precisions, activation-serial on
+//! convolutions and weight-serial on FC/LSTM layers) against SS-Tartan
+//! (per-group dynamic precisions) on the 16b suite, where Tartan's
+//! FC speedups matter most.
+
+use std::io::{self, Write};
+
+use ss_core::scheme::{ProfileScheme, ShapeShifterScheme};
+use ss_sim::accel::{Stripes, Tartan};
+use ss_sim::sim::{simulate, SimConfig};
+use ss_sim::workload::Cached;
+use ss_sim::TensorSource;
+
+use crate::suites::suite_16b;
+use crate::{geomean, header, row};
+
+/// `(Tartan vs Stripes, SS-Tartan vs Tartan)` speedups for one model.
+#[must_use]
+pub fn compare(model: &(dyn TensorSource + Sync), seed: u64) -> (f64, f64) {
+    let cfg = SimConfig::default();
+    let cached = Cached::new(model);
+    let stripes = simulate(&cached, &Stripes::new(), &ProfileScheme, &cfg, seed);
+    let tartan = simulate(&cached, &Tartan::new(), &ProfileScheme, &cfg, seed);
+    let ss_tartan = simulate(
+        &cached,
+        &Tartan::with_shapeshifter(),
+        &ShapeShifterScheme::default(),
+        &cfg,
+        seed,
+    );
+    (
+        tartan.speedup_over(&stripes),
+        ss_tartan.speedup_over(&tartan),
+    )
+}
+
+/// Runs the extension study.
+pub fn run(out: &mut impl Write) -> io::Result<()> {
+    writeln!(
+        out,
+        "# Extension: Tartan and ShapeShifter-Tartan (16b models)\n"
+    )?;
+    writeln!(out, "{}", header("model", &["TRT/STR", "SSTRT/TRT"]))?;
+    let mut t = vec![];
+    let mut sst = vec![];
+    for net in suite_16b() {
+        let (a, b) = compare(&net, 1);
+        writeln!(out, "{}", row(net.name(), &[a, b]))?;
+        t.push(a);
+        sst.push(b);
+    }
+    writeln!(out, "{}", row("geomean", &[geomean(&t), geomean(&sst)]))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tartan_helps_fc_heavy_models_and_ss_helps_further() {
+        // BiLSTM: all layers weight-streaming — Tartan's home turf.
+        let net = ss_models::zoo::bilstm();
+        let (tartan_gain, ss_gain) = compare(&net, 1);
+        assert!(tartan_gain >= 1.0, "Tartan vs Stripes {tartan_gain}");
+        assert!(ss_gain >= 1.0, "SS-Tartan vs Tartan {ss_gain}");
+    }
+
+    #[test]
+    fn tartan_matches_stripes_on_pure_conv_models() {
+        // SegNet has no FC layers: Tartan degenerates to Stripes.
+        let net = ss_models::zoo::segnet().scaled_down(4);
+        let (tartan_gain, _) = compare(&net, 1);
+        assert!((tartan_gain - 1.0).abs() < 1e-9, "gain {tartan_gain}");
+    }
+}

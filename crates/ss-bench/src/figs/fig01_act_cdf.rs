@@ -1,0 +1,109 @@
+//! Figure 1: per-group vs per-layer activation width needs (16b models).
+//!
+//! For the paper's four layers (two from GoogLeNet, two from the pruned
+//! ResNet50-S), prints the cumulative distribution of per-group widths at
+//! group sizes 16–256, plus the profile-derived ("static") width and one
+//! input's whole-layer ("dynamic") width.
+
+use std::io::{self, Write};
+
+use ss_core::analysis::WidthDistribution;
+use ss_models::Network;
+use ss_sim::TensorSource;
+
+use crate::{inputs, scaled};
+
+/// The group sizes each panel sweeps.
+pub const GROUP_SIZES: [usize; 5] = [16, 32, 64, 128, 256];
+
+/// `(network, layer index)` panels: GoogLeNet conv1 and inception 5a 1x1,
+/// ResNet50-S conv1 and a mid-network 1x1.
+fn panels() -> Vec<(Network, usize)> {
+    let g = scaled(ss_models::zoo::googlenet());
+    let r = scaled(ss_models::zoo::resnet50_s());
+    // inception_5a/1x1 is layer 3 + 7*6 = 45; res3a_1x1a sits at index 11.
+    vec![(g.clone(), 0), (g, 45), (r.clone(), 0), (r, 11)]
+}
+
+/// Prints one CDF panel for a layer's input activations.
+pub fn panel(
+    out: &mut impl Write,
+    net: &Network,
+    layer: usize,
+    seeds: impl Iterator<Item = u64> + Clone,
+) -> io::Result<()> {
+    writeln!(
+        out,
+        "== {} / {} (input activations) ==",
+        net.name(),
+        net.layers()[layer].name()
+    )?;
+    let static_width = TensorSource::profiled_act_width(net, layer);
+    let one_input = net.input_tensor(layer, seeds.clone().next().unwrap_or(1));
+    writeln!(
+        out,
+        "static(profile) width: {static_width}b   dynamic(one input) width: {}b",
+        one_input.profiled_width()
+    )?;
+    write!(out, "{:>5}", "width")?;
+    for g in GROUP_SIZES {
+        write!(out, " {:>8}", format!("g={g}"))?;
+    }
+    writeln!(out)?;
+
+    // Pool groups over several inputs for a smooth curve.
+    let dists: Vec<Vec<WidthDistribution>> = GROUP_SIZES
+        .iter()
+        .map(|&g| {
+            seeds
+                .clone()
+                .map(|s| WidthDistribution::of(&net.input_tensor(layer, s), g))
+                .collect()
+        })
+        .collect();
+    for w in 0..=16u8 {
+        write!(out, "{w:>5}")?;
+        for per_seed in &dists {
+            let total: u64 = per_seed.iter().map(WidthDistribution::total_groups).sum();
+            let upto: f64 = per_seed
+                .iter()
+                .map(|d| d.cdf_at(w) * d.total_groups() as f64)
+                .sum();
+            write!(out, " {:>8.4}", upto / total.max(1) as f64)?;
+        }
+        writeln!(out)?;
+    }
+    writeln!(out)
+}
+
+/// Runs the whole figure.
+pub fn run(out: &mut impl Write) -> io::Result<()> {
+    writeln!(
+        out,
+        "# Figure 1: per-group vs per-layer activation width needs (16b)\n"
+    )?;
+    let seeds = 1..=inputs();
+    for (net, layer) in panels() {
+        panel(out, &net, layer, seeds.clone())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_monotone_cdfs() {
+        let net = ss_models::zoo::googlenet().scaled_down(8);
+        let mut buf = Vec::new();
+        panel(&mut buf, &net, 0, 1..=1).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("static(profile) width"));
+        // Final row (width 16) must be a full CDF of 1.0 per column.
+        let last = text.lines().rev().find(|l| l.starts_with("   16")).unwrap();
+        for v in last.split_whitespace().skip(1) {
+            assert!((v.parse::<f64>().unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+}

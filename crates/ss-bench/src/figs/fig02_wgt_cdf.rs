@@ -1,0 +1,93 @@
+//! Figure 2: per-group vs per-layer weight width needs (16b models).
+//!
+//! The weight analogue of Figure 1: widths are selected statically (at
+//! model pack time), so there is no per-input variation — one weight
+//! tensor per layer.
+
+use std::io::{self, Write};
+
+use ss_core::analysis::WidthDistribution;
+use ss_models::Network;
+use ss_sim::sim::MODEL_SEED;
+use ss_sim::TensorSource;
+
+use crate::figs::fig01_act_cdf::GROUP_SIZES;
+use crate::scaled;
+
+fn panels() -> Vec<(Network, usize)> {
+    let g = scaled(ss_models::zoo::googlenet());
+    let r = scaled(ss_models::zoo::resnet50_s());
+    vec![(g.clone(), 0), (g, 45), (r.clone(), 0), (r, 11)]
+}
+
+/// Prints one weight-CDF panel.
+pub fn panel(out: &mut impl Write, net: &Network, layer: usize) -> io::Result<()> {
+    writeln!(
+        out,
+        "== {} / {} (weights) ==",
+        net.name(),
+        net.layers()[layer].name()
+    )?;
+    let w = net.weight_tensor(layer, MODEL_SEED);
+    writeln!(
+        out,
+        "static(profile) width: {}b   this model's width: {}b",
+        TensorSource::profiled_wgt_width(net, layer),
+        w.profiled_width()
+    )?;
+    write!(out, "{:>5}", "width")?;
+    for g in GROUP_SIZES {
+        write!(out, " {:>8}", format!("g={g}"))?;
+    }
+    writeln!(out)?;
+    let dists: Vec<WidthDistribution> = GROUP_SIZES
+        .iter()
+        .map(|&g| WidthDistribution::of(&w, g))
+        .collect();
+    for width in 0..=16u8 {
+        write!(out, "{width:>5}")?;
+        for d in &dists {
+            write!(out, " {:>8.4}", d.cdf_at(width))?;
+        }
+        writeln!(out)?;
+    }
+    writeln!(out)
+}
+
+/// Runs the whole figure.
+pub fn run(out: &mut impl Write) -> io::Result<()> {
+    writeln!(
+        out,
+        "# Figure 2: per-group vs per-layer weight width needs (16b)\n"
+    )?;
+    for (net, layer) in panels() {
+        panel(out, &net, layer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_groups_dominate_larger_ones() {
+        // Figure 2's message: smaller groups need no more bits anywhere
+        // on the curve.
+        let net = ss_models::zoo::googlenet().scaled_down(8);
+        let w = net.weight_tensor(0, MODEL_SEED);
+        let d16 = WidthDistribution::of(&w, 16);
+        let d256 = WidthDistribution::of(&w, 256);
+        for width in 0..=16u8 {
+            assert!(d16.cdf_at(width) + 1e-12 >= d256.cdf_at(width));
+        }
+    }
+
+    #[test]
+    fn panel_renders() {
+        let net = ss_models::zoo::resnet50_s().scaled_down(8);
+        let mut buf = Vec::new();
+        panel(&mut buf, &net, 0).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("weights"));
+    }
+}

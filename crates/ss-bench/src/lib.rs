@@ -1,0 +1,179 @@
+#![warn(missing_docs)]
+
+//! Experiment harness: regenerates every table and figure of the
+//! ShapeShifter paper.
+//!
+//! Each experiment lives in [`figs`] as a `run(&mut impl Write)` function
+//! with a thin binary wrapper, so `cargo run --release -p ss-bench --bin
+//! fig08a_traffic` prints the same rows/series the paper reports, and the
+//! `all_experiments` binary regenerates everything for `EXPERIMENTS.md`.
+//!
+//! Two environment knobs trade fidelity for speed (full scale is the
+//! default and what `EXPERIMENTS.md` records):
+//!
+//! * `SS_SCALE=n` — divide every network's channels/spatial extents by
+//!   `n` (geometry shrinks ~n³; value statistics are unchanged).
+//! * `SS_INPUTS=k` — number of distinct inputs averaged per measurement.
+
+pub mod figs;
+pub mod suites;
+
+use std::env;
+
+/// Geometry divisor from `SS_SCALE` (default 1 = full published size).
+#[must_use]
+pub fn scale() -> usize {
+    env::var("SS_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(1)
+}
+
+/// Input count from `SS_INPUTS` (default 3).
+#[must_use]
+pub fn inputs() -> u64 {
+    env::var("SS_INPUTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(3)
+}
+
+/// Applies the `SS_SCALE` divisor to a zoo network.
+#[must_use]
+pub fn scaled(net: ss_models::Network) -> ss_models::Network {
+    let s = scale();
+    if s == 1 {
+        net
+    } else {
+        net.scaled_down(s)
+    }
+}
+
+/// Maps `f` over `items` on up to [`par_threads`] scoped threads,
+/// preserving input order. The per-model measurements of every figure are
+/// independent, so the harness fans them out; thread count is bounded
+/// because each in-flight model may cache hundreds of megabytes of
+/// tensors.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = par_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock().expect("no worker panicked holding the lock")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot was filled"))
+        .collect()
+}
+
+/// Worker threads for [`par_map`]: `SS_THREADS`, else the machine's
+/// available parallelism capped at a memory-conscious 4 (each in-flight
+/// model may cache hundreds of megabytes of tensors).
+#[must_use]
+pub fn par_threads() -> usize {
+    env::var("SS_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(4)
+        })
+}
+
+/// Geometric mean of strictly positive values (the paper's preferred
+/// cross-network average). Returns 1.0 for an empty slice.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a row of `(label, values...)` with fixed column widths.
+#[must_use]
+pub fn row(label: &str, values: &[f64]) -> String {
+    let mut s = format!("{label:<24}");
+    for v in values {
+        s.push_str(&format!(" {v:>9.3}"));
+    }
+    s
+}
+
+/// Formats a header row to match [`row`]'s columns.
+#[must_use]
+pub fn header(label: &str, cols: &[&str]) -> String {
+    let mut s = format!("{label:<24}");
+    for c in cols {
+        s.push_str(&format!(" {c:>9}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_alignment() {
+        let h = header("model", &["a", "b"]);
+        let r = row("x", &[1.0, 2.0]);
+        assert_eq!(h.len(), r.len());
+    }
+
+    #[test]
+    fn env_defaults() {
+        // Defaults apply when the vars are unset in the test environment.
+        assert!(scale() >= 1);
+        assert!(inputs() >= 1);
+        assert!(par_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_results() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = par_map(items.clone(), |&x| x * x);
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expect);
+        // Degenerate cases.
+        assert!(par_map(Vec::<u64>::new(), |&x| x).is_empty());
+        assert_eq!(par_map(vec![9u64], |&x| x + 1), vec![10]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Model suites as the paper's figures group them, with the `SS_SCALE`
+//! divisor applied, plus a shared traffic-pricing helper that generates
+//! each layer's tensors once and prices every scheme on them.
+
+use ss_core::scheme::{CompressionScheme, SchemeCtx};
+use ss_models::Network;
+use ss_quant::{QuantMethod, QuantizedNetwork};
+use ss_sim::sim::MODEL_SEED;
+use ss_sim::TensorSource;
+
+use crate::scaled;
+
+/// The 16-bit suite (Figure 8a left group, Figures 9–13).
+#[must_use]
+pub fn suite_16b() -> Vec<Network> {
+    ss_models::zoo::int16_suite().into_iter().map(scaled).collect()
+}
+
+/// The TensorFlow-quantized 8-bit suite.
+#[must_use]
+pub fn suite_tf8() -> Vec<QuantizedNetwork> {
+    ss_models::zoo::tf8_suite()
+        .into_iter()
+        .map(|n| QuantizedNetwork::new(scaled(n), QuantMethod::Tensorflow))
+        .collect()
+}
+
+/// The Range-Aware-quantized 8-bit suite.
+#[must_use]
+pub fn suite_ra8() -> Vec<QuantizedNetwork> {
+    ss_models::zoo::ra8_suite()
+        .into_iter()
+        .map(|n| QuantizedNetwork::new(scaled(n), QuantMethod::RangeAware))
+        .collect()
+}
+
+/// The pruned 16-bit suite for the SCNN study (Figure 10).
+#[must_use]
+pub fn suite_scnn() -> Vec<Network> {
+    ss_models::zoo::scnn_suite().into_iter().map(scaled).collect()
+}
+
+/// Networks treated as non-profiled in Figure 8b (profiling "is not
+/// always possible, e.g., when the test data set is not available"):
+/// the per-pixel-prediction and sequence workloads plus detection.
+#[must_use]
+pub fn suite_unprofiled_16b() -> Vec<Network> {
+    vec![
+        scaled(ss_models::zoo::yolo()),
+        scaled(ss_models::zoo::fcn8()),
+        scaled(ss_models::zoo::vdsr()),
+        scaled(ss_models::zoo::ircnn()),
+        scaled(ss_models::zoo::seq2seq()),
+        scaled(ss_models::zoo::lrcn()),
+    ]
+}
+
+/// Per-model total off-chip traffic (weights + input/output activations
+/// of every layer, single-pass) in bits, priced under each scheme from a
+/// single tensor generation pass.
+///
+/// Returns one total per scheme, in the order given. `profiled == false`
+/// models Figure 8b operation (the Profile scheme falls back to the
+/// container width).
+#[must_use]
+pub fn traffic_totals(
+    model: &dyn TensorSource,
+    schemes: &[&dyn CompressionScheme],
+    input_seed: u64,
+    profiled: bool,
+) -> Vec<u64> {
+    let mut totals = vec![0u64; schemes.len()];
+    let num_layers = model.layers().len();
+    for i in 0..num_layers {
+        let wgt = model.weight_tensor(i, MODEL_SEED);
+        let act_in = model.input_tensor(i, input_seed);
+        let act_out = model.output_tensor(i, input_seed);
+        let ctx = |w: u8| {
+            if profiled {
+                SchemeCtx::profiled(w)
+            } else {
+                SchemeCtx::unprofiled()
+            }
+        };
+        let a_ctx = ctx(model.profiled_act_width(i));
+        let w_ctx = ctx(model.profiled_wgt_width(i));
+        let o_ctx = ctx(model.profiled_act_width((i + 1).min(num_layers - 1)));
+        for (t, scheme) in totals.iter_mut().zip(schemes) {
+            *t += scheme.compressed_bits(&act_in, &a_ctx)
+                + scheme.compressed_bits(&wgt, &w_ctx)
+                + scheme.compressed_bits(&act_out, &o_ctx);
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::scheme::{Base, ShapeShifterScheme, ZeroRle};
+
+    #[test]
+    fn traffic_totals_orders_schemes_correctly() {
+        let net = ss_models::zoo::alexnet().scaled_down(8);
+        let ss = ShapeShifterScheme::default();
+        let rle = ZeroRle::default();
+        let schemes: Vec<&dyn CompressionScheme> = vec![&Base, &ss, &rle];
+        let t = traffic_totals(&net, &schemes, 1, true);
+        assert_eq!(t.len(), 3);
+        // ShapeShifter must beat Base on the skewed zoo distributions.
+        assert!(t[1] < t[0]);
+    }
+}

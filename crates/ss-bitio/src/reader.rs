@@ -1,0 +1,299 @@
+use crate::{BitIoError, MAX_FIELD_BITS};
+
+/// Sequentially consumes variable-width bit fields from a byte slice.
+///
+/// The reader mirrors [`crate::BitWriter`]'s LSB-first packing and models the
+/// paper's sequential decompressor contract: "starting from the beginning of
+/// an activation or weight array, the decompressor reads the first … bits
+/// containing the metadata for the first group … upon finishing with the
+/// current group, the decoder has arrived at the header for the next group"
+/// (paper §3). Random access is supported only at explicitly recorded
+/// positions via [`BitReader::seek`], matching the access-handle table the
+/// paper describes for tiled dataflows.
+///
+/// # Examples
+///
+/// ```
+/// use ss_bitio::{BitReader, BitWriter};
+///
+/// # fn main() -> Result<(), ss_bitio::BitIoError> {
+/// let mut w = BitWriter::new();
+/// w.write_bits(0xAB, 8)?;
+/// w.write_bits(0x5, 3)?;
+/// let bytes = w.into_bytes();
+///
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(8)?, 0xAB);
+/// assert_eq!(r.read_bits(3)?, 0x5);
+/// assert_eq!(r.remaining_bits(), 5); // final-byte padding
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit to read, as an absolute bit index.
+    pos: u64,
+    /// Total readable bits (defaults to `bytes.len() * 8`).
+    bit_len: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over all bits of `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            bit_len: bytes.len() as u64 * 8,
+        }
+    }
+
+    /// Creates a reader over only the first `bit_len` bits of `bytes`.
+    ///
+    /// Useful when the stream's logical length (in bits) is known from
+    /// container metadata and the final byte carries padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_len` exceeds `bytes.len() * 8`.
+    #[must_use]
+    pub fn with_bit_len(bytes: &'a [u8], bit_len: u64) -> Self {
+        assert!(
+            bit_len <= bytes.len() as u64 * 8,
+            "bit_len {} exceeds buffer capacity {}",
+            bit_len,
+            bytes.len() as u64 * 8
+        );
+        Self {
+            bytes,
+            pos: 0,
+            bit_len,
+        }
+    }
+
+    /// Current absolute bit position (bits consumed so far).
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Total length of the stream in bits.
+    #[must_use]
+    pub fn bit_len(&self) -> u64 {
+        self.bit_len
+    }
+
+    /// Bits left to read.
+    #[must_use]
+    pub fn remaining_bits(&self) -> u64 {
+        self.bit_len - self.pos
+    }
+
+    /// `true` once every bit has been consumed.
+    #[must_use]
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.bit_len
+    }
+
+    /// Repositions the reader at an absolute bit offset.
+    ///
+    /// This models the paper's per-container "access handles": dataflows
+    /// record the starting bit of each compressed block and resume sequential
+    /// decoding there.
+    ///
+    /// # Errors
+    ///
+    /// [`BitIoError::SeekOutOfBounds`] if `position > self.bit_len()`.
+    pub fn seek(&mut self, position: u64) -> Result<(), BitIoError> {
+        if position > self.bit_len {
+            return Err(BitIoError::SeekOutOfBounds {
+                position,
+                len: self.bit_len,
+            });
+        }
+        self.pos = position;
+        Ok(())
+    }
+
+    /// Reads the next `bits` bits as an unsigned value (LSB-first).
+    ///
+    /// A zero-width read returns `0` without consuming anything.
+    ///
+    /// # Errors
+    ///
+    /// * [`BitIoError::FieldTooWide`] if `bits > 64`.
+    /// * [`BitIoError::UnexpectedEnd`] if fewer than `bits` bits remain.
+    pub fn read_bits(&mut self, bits: u32) -> Result<u64, BitIoError> {
+        if bits > MAX_FIELD_BITS {
+            return Err(BitIoError::FieldTooWide { bits });
+        }
+        if u64::from(bits) > self.remaining_bits() {
+            return Err(BitIoError::UnexpectedEnd {
+                requested: bits,
+                available: self.remaining_bits(),
+            });
+        }
+        let mut out: u64 = 0;
+        let mut got: u32 = 0;
+        while got < bits {
+            let byte_idx = (self.pos / 8) as usize;
+            let bit_off = (self.pos % 8) as u32;
+            let take = (bits - got).min(8 - bit_off);
+            let mask = ((1u16 << take) - 1) as u8;
+            let chunk = (self.bytes[byte_idx] >> bit_off) & mask;
+            out |= u64::from(chunk) << got;
+            got += take;
+            self.pos += u64::from(take);
+        }
+        Ok(out)
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// [`BitIoError::UnexpectedEnd`] if the stream is exhausted.
+    pub fn read_bit(&mut self) -> Result<bool, BitIoError> {
+        Ok(self.read_bits(1)? != 0)
+    }
+
+    /// Advances past `count` bits without decoding them.
+    ///
+    /// # Errors
+    ///
+    /// [`BitIoError::UnexpectedEnd`] if fewer than `count` bits remain; the
+    /// position is unchanged on error.
+    pub fn skip_bits(&mut self, count: u64) -> Result<(), BitIoError> {
+        if count > self.remaining_bits() {
+            return Err(BitIoError::UnexpectedEnd {
+                requested: count.min(u64::from(u32::MAX)) as u32,
+                available: self.remaining_bits(),
+            });
+        }
+        self.pos += count;
+        Ok(())
+    }
+
+    /// Advances to the next multiple of `align` bits.
+    ///
+    /// # Errors
+    ///
+    /// [`BitIoError::UnexpectedEnd`] if the padding extends past the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align == 0`.
+    pub fn align_to(&mut self, align: u64) -> Result<(), BitIoError> {
+        assert!(align > 0, "alignment must be non-zero");
+        let rem = self.pos % align;
+        if rem != 0 {
+            self.skip_bits(align - rem)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitWriter;
+
+    #[test]
+    fn reads_back_what_writer_wrote() {
+        let fields: &[(u64, u32)] = &[
+            (0, 0),
+            (1, 1),
+            (0b10, 2),
+            (0xDEAD, 16),
+            (0x1_FFFF_FFFF, 33),
+            (u64::MAX, 64),
+            (0x7, 3),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, b) in fields {
+            w.write_bits(v, b).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, b) in fields {
+            assert_eq!(r.read_bits(b).unwrap(), v, "field {b} bits");
+        }
+    }
+
+    #[test]
+    fn unexpected_end_reports_availability() {
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(5).unwrap();
+        assert_eq!(
+            r.read_bits(4),
+            Err(BitIoError::UnexpectedEnd {
+                requested: 4,
+                available: 3
+            })
+        );
+        // Failed read must not consume bits.
+        assert_eq!(r.remaining_bits(), 3);
+        assert_eq!(r.read_bits(3).unwrap(), 0b111);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn with_bit_len_truncates_padding() {
+        let bytes = [0xFF, 0xFF];
+        let mut r = BitReader::with_bit_len(&bytes, 9);
+        assert_eq!(r.remaining_bits(), 9);
+        r.read_bits(9).unwrap();
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer capacity")]
+    fn with_bit_len_rejects_overlong() {
+        let bytes = [0u8; 2];
+        let _ = BitReader::with_bit_len(&bytes, 17);
+    }
+
+    #[test]
+    fn seek_restores_position() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1010, 4).unwrap();
+        w.write_bits(0xAB, 8).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(4).unwrap();
+        let handle = r.position();
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        r.seek(handle).unwrap();
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert_eq!(
+            r.seek(999),
+            Err(BitIoError::SeekOutOfBounds {
+                position: 999,
+                len: 16
+            })
+        );
+    }
+
+    #[test]
+    fn skip_and_align() {
+        let bytes = [0xFFu8; 4];
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(3).unwrap();
+        r.align_to(8).unwrap();
+        assert_eq!(r.position(), 8);
+        r.skip_bits(8).unwrap();
+        assert_eq!(r.position(), 16);
+        assert!(r.skip_bits(17).is_err());
+        assert_eq!(r.position(), 16, "failed skip must not move");
+    }
+
+    #[test]
+    fn zero_width_read_consumes_nothing() {
+        let bytes = [0xAA];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.position(), 0);
+    }
+}

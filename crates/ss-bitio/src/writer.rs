@@ -1,0 +1,249 @@
+use crate::{BitIoError, MAX_FIELD_BITS};
+
+/// Appends variable-width bit fields to a growing byte buffer.
+///
+/// Bits are packed LSB-first: the first bit written becomes bit 0 of byte 0,
+/// the ninth becomes bit 0 of byte 1, and so on. Fields may be 0–64 bits
+/// wide and freely straddle byte boundaries, which is exactly what the
+/// ShapeShifter container needs — groups are stored "back-to-back in the
+/// order we expect them to be read" (paper Figure 6c) with no per-group
+/// alignment.
+///
+/// # Examples
+///
+/// ```
+/// use ss_bitio::BitWriter;
+///
+/// # fn main() -> Result<(), ss_bitio::BitIoError> {
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b1, 1)?;
+/// w.write_bits(0b0110, 4)?;
+/// assert_eq!(w.bit_len(), 5);
+/// let bytes = w.into_bytes();
+/// assert_eq!(bytes, vec![0b0000_1101]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the stream (may be mid-byte).
+    bit_len: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with capacity for `bits` bits.
+    #[must_use]
+    pub fn with_capacity_bits(bits: u64) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bits.div_ceil(8) as usize),
+            bit_len: 0,
+        }
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> u64 {
+        self.bit_len
+    }
+
+    /// `true` if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bit_len == 0
+    }
+
+    /// Appends the low `bits` bits of `value`, LSB first.
+    ///
+    /// A zero-width field is a no-op and requires `value == 0`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BitIoError::FieldTooWide`] if `bits > 64`.
+    /// * [`BitIoError::ValueOutOfRange`] if `value` has set bits above
+    ///   position `bits - 1`.
+    pub fn write_bits(&mut self, value: u64, bits: u32) -> Result<(), BitIoError> {
+        if bits > MAX_FIELD_BITS {
+            return Err(BitIoError::FieldTooWide { bits });
+        }
+        if bits < 64 && (value >> bits) != 0 {
+            return Err(BitIoError::ValueOutOfRange { value, bits });
+        }
+        let mut remaining = bits;
+        let mut value = value;
+        while remaining > 0 {
+            let byte_idx = (self.bit_len / 8) as usize;
+            let bit_off = (self.bit_len % 8) as u32;
+            if byte_idx == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            let take = remaining.min(8 - bit_off);
+            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let chunk = (value & mask) as u8;
+            self.bytes[byte_idx] |= chunk << bit_off;
+            value >>= take;
+            remaining -= take;
+            self.bit_len += u64::from(take);
+        }
+        Ok(())
+    }
+
+    /// Appends a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; shares `write_bits`'s signature for
+    /// uniform `?`-chaining.
+    pub fn write_bit(&mut self, bit: bool) -> Result<(), BitIoError> {
+        self.write_bits(u64::from(bit), 1)
+    }
+
+    /// Appends `count` zero bits (used for container padding).
+    ///
+    /// # Errors
+    ///
+    /// Never fails; kept fallible for uniform chaining.
+    pub fn write_zero_bits(&mut self, count: u64) -> Result<(), BitIoError> {
+        let mut left = count;
+        while left > 0 {
+            let chunk = left.min(64) as u32;
+            self.write_bits(0, chunk)?;
+            left -= u64::from(chunk);
+        }
+        Ok(())
+    }
+
+    /// Pads the stream with zero bits up to the next multiple of `align`
+    /// bits, returning the number of padding bits added.
+    ///
+    /// The paper's memory layout pads each array container to the off-chip
+    /// interface width so the next container starts on an access boundary.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; kept fallible for uniform chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align == 0`.
+    pub fn align_to(&mut self, align: u64) -> Result<u64, BitIoError> {
+        assert!(align > 0, "alignment must be non-zero");
+        let rem = self.bit_len % align;
+        let pad = if rem == 0 { 0 } else { align - rem };
+        self.write_zero_bits(pad)?;
+        Ok(pad)
+    }
+
+    /// Consumes the writer and returns the packed bytes. Trailing bits of the
+    /// final partial byte are zero.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrows the packed bytes written so far.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_writer() {
+        let w = BitWriter::new();
+        assert!(w.is_empty());
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn single_byte_packing_lsb_first() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1).unwrap();
+        w.write_bits(0b01, 2).unwrap();
+        w.write_bits(0b10101, 5).unwrap();
+        assert_eq!(w.bit_len(), 8);
+        assert_eq!(w.into_bytes(), vec![0b1010_1011]);
+    }
+
+    #[test]
+    fn straddles_byte_boundary() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b111, 3).unwrap();
+        w.write_bits(0x1FF, 9).unwrap(); // crosses into byte 1
+        assert_eq!(w.bit_len(), 12);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0xFF, 0x0F]);
+    }
+
+    #[test]
+    fn sixty_four_bit_field() {
+        let mut w = BitWriter::new();
+        w.write_bits(u64::MAX, 64).unwrap();
+        assert_eq!(w.into_bytes(), vec![0xFF; 8]);
+    }
+
+    #[test]
+    fn zero_width_field_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0).unwrap();
+        assert!(w.is_empty());
+        assert!(w.write_bits(1, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_wide_fields_and_out_of_range_values() {
+        let mut w = BitWriter::new();
+        assert_eq!(
+            w.write_bits(0, 65),
+            Err(BitIoError::FieldTooWide { bits: 65 })
+        );
+        assert_eq!(
+            w.write_bits(0b100, 2),
+            Err(BitIoError::ValueOutOfRange { value: 4, bits: 2 })
+        );
+        // Failed writes must not corrupt the stream.
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn align_to_pads_with_zeros() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2).unwrap();
+        let pad = w.align_to(32).unwrap();
+        assert_eq!(pad, 30);
+        assert_eq!(w.bit_len(), 32);
+        // Already aligned: no padding.
+        assert_eq!(w.align_to(32).unwrap(), 0);
+        assert_eq!(w.into_bytes(), vec![0b11, 0, 0, 0]);
+    }
+
+    #[test]
+    fn write_zero_bits_long_run() {
+        let mut w = BitWriter::new();
+        w.write_zero_bits(130).unwrap();
+        assert_eq!(w.bit_len(), 130);
+        assert_eq!(w.as_bytes().len(), 17);
+        assert!(w.as_bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_bit_sequence() {
+        let mut w = BitWriter::new();
+        for bit in [true, false, true, true] {
+            w.write_bit(bit).unwrap();
+        }
+        assert_eq!(w.bit_len(), 4);
+        assert_eq!(w.into_bytes(), vec![0b1101]);
+    }
+}

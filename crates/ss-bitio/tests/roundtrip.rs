@@ -1,0 +1,105 @@
+//! Property tests: any sequence of (value, width) fields written with
+//! `BitWriter` reads back bit-exactly with `BitReader`, regardless of how
+//! fields straddle byte boundaries. This is the foundational invariant the
+//! whole ShapeShifter codec rests on.
+
+use proptest::prelude::*;
+use ss_bitio::{bits_for, BitReader, BitWriter};
+
+/// A strategy for (value, width) pairs where the value fits the width.
+fn field() -> impl Strategy<Value = (u64, u32)> {
+    (0u32..=64).prop_flat_map(|bits| {
+        let max = if bits == 0 {
+            0
+        } else if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        (0..=max, Just(bits))
+    })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_arbitrary_fields(fields in prop::collection::vec(field(), 0..200)) {
+        let mut w = BitWriter::new();
+        for &(v, b) in &fields {
+            w.write_bits(v, b).unwrap();
+        }
+        let total: u64 = fields.iter().map(|&(_, b)| u64::from(b)).sum();
+        prop_assert_eq!(w.bit_len(), total);
+        let bytes = w.into_bytes();
+        prop_assert_eq!(bytes.len() as u64, total.div_ceil(8));
+
+        let mut r = BitReader::new(&bytes);
+        for &(v, b) in &fields {
+            prop_assert_eq!(r.read_bits(b).unwrap(), v);
+        }
+        prop_assert_eq!(r.remaining_bits(), bytes.len() as u64 * 8 - total);
+    }
+
+    #[test]
+    fn roundtrip_with_interior_seeks(fields in prop::collection::vec(field(), 1..100)) {
+        // Record the bit handle of every field, then read them back in
+        // reverse order via seek — the paper's "access handle" pattern.
+        let mut w = BitWriter::new();
+        let mut handles = Vec::with_capacity(fields.len());
+        for &(v, b) in &fields {
+            handles.push(w.bit_len());
+            w.write_bits(v, b).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (&(v, b), &h) in fields.iter().zip(&handles).rev() {
+            r.seek(h).unwrap();
+            prop_assert_eq!(r.read_bits(b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bits_for_matches_naive(v in any::<u64>()) {
+        let mut naive = 0u32;
+        let mut x = v;
+        while x != 0 {
+            naive += 1;
+            x >>= 1;
+        }
+        prop_assert_eq!(bits_for(v), naive);
+    }
+
+    #[test]
+    fn value_written_at_bits_for_width_roundtrips(v in any::<u64>()) {
+        let b = bits_for(v).max(1);
+        let mut w = BitWriter::new();
+        w.write_bits(v, b).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(r.read_bits(b).unwrap(), v);
+    }
+
+    #[test]
+    fn truncated_stream_errors_not_panics(
+        fields in prop::collection::vec(field(), 1..50),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut w = BitWriter::new();
+        for &(v, b) in &fields {
+            w.write_bits(v, b).unwrap();
+        }
+        let bytes = w.into_bytes();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let cut = cut.index(bytes.len());
+        let truncated = &bytes[..cut];
+        let mut r = BitReader::new(truncated);
+        // Reading every original field must terminate with Ok or a clean
+        // error — never a panic, never an infinite loop.
+        for &(_, b) in &fields {
+            if r.read_bits(b).is_err() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! The ShapeShifter memory container codec (paper §3, Figure 6).
+
+use ss_bitio::{BitReader, BitWriter};
+use ss_tensor::{width, FixedType, Shape, Signedness, Tensor};
+
+use crate::{CodecError, WidthDetector};
+
+/// Lossless per-group codec for the ShapeShifter off-chip container.
+///
+/// For each group of up to `group_size` values the stream stores:
+///
+/// * `Z` — one bit per value, 1 marking a zero (zeros carry no payload);
+/// * `P` — the group's width minus one, in `log2(Pmax)` bits (4 bits for
+///   16-bit containers, 3 for 8-bit, matching Figure 6's example);
+/// * the non-zero values, in order, at `P` bits each; signed containers
+///   store sign-magnitude with the sign at the least-significant bit.
+///
+/// Groups are packed back-to-back with no alignment — the stream is decoded
+/// sequentially, exactly as the paper's access model requires.
+///
+/// The paper's metadata accounting holds by construction: a full group of
+/// sixteen 16-bit values costs `16 + 4` metadata bits against a 256-bit
+/// uncompressed footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapeShifterCodec {
+    group_size: usize,
+}
+
+/// An encoded tensor: the packed stream plus the metadata needed to decode
+/// it and the accounting the evaluation reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedTensor {
+    bytes: Vec<u8>,
+    bit_len: u64,
+    len: usize,
+    dtype: FixedType,
+    group_size: usize,
+    groups: usize,
+    metadata_bits: u64,
+    payload_bits: u64,
+}
+
+impl ShapeShifterCodec {
+    /// Creates a codec with the given group size (the paper finds 16 "a
+    /// good balance between compression rate and metadata overhead").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is 0 or exceeds 256 (the paper's largest
+    /// evaluated group).
+    #[must_use]
+    pub fn new(group_size: usize) -> Self {
+        assert!(
+            (1..=256).contains(&group_size),
+            "group size {group_size} outside 1..=256"
+        );
+        Self { group_size }
+    }
+
+    /// The configured group size.
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Encodes a tensor into a ShapeShifter stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CodecError::Stream`] on internal bit-packing failures
+    /// (unreachable for valid tensors, by the tensor's container
+    /// invariant).
+    pub fn encode(&self, tensor: &Tensor) -> Result<EncodedTensor, CodecError> {
+        let dtype = tensor.dtype();
+        let det = WidthDetector::new(dtype.bits(), dtype.signedness());
+        let prefix_bits = u32::from(det.prefix_bits());
+        let mut w = BitWriter::with_capacity_bits(tensor.container_bits() / 2);
+        let mut groups = 0usize;
+        let mut metadata_bits = 0u64;
+        let mut payload_bits = 0u64;
+
+        for group in tensor.groups(self.group_size)? {
+            groups += 1;
+            // Z vector: 1 marks a zero value (written in 64-bit chunks so
+            // group sizes up to 256 are supported).
+            for chunk in group.chunks(64) {
+                let mut z = 0u64;
+                for (i, &v) in chunk.iter().enumerate() {
+                    if v == 0 {
+                        z |= 1 << i;
+                    }
+                }
+                w.write_bits(z, chunk.len() as u32)?;
+            }
+            let p = det.detect(group);
+            w.write_bits(u64::from(det.detect_encoded(group)), prefix_bits)?;
+            metadata_bits += group.len() as u64 + u64::from(prefix_bits);
+            for &v in group.iter().filter(|&&v| v != 0) {
+                let enc = match dtype.signedness() {
+                    Signedness::Unsigned => v as u64,
+                    Signedness::Signed => u64::from(width::to_sign_magnitude(v)),
+                };
+                w.write_bits(enc, u32::from(p))?;
+                payload_bits += u64::from(p);
+            }
+        }
+        Ok(EncodedTensor {
+            bit_len: w.bit_len(),
+            bytes: w.into_bytes(),
+            len: tensor.len(),
+            dtype,
+            group_size: self.group_size,
+            groups,
+            metadata_bits,
+            payload_bits,
+        })
+    }
+
+    /// Computes the exact encoded size of a tensor *without* materializing
+    /// the stream — the accounting identity `bit_len = metadata + payload`
+    /// holds against [`ShapeShifterCodec::encode`] bit-for-bit, at a
+    /// fraction of the cost. Used by the traffic schemes on multi-million
+    /// value layers.
+    ///
+    /// Returns `(metadata_bits, payload_bits, groups)`.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a valid tensor.
+    #[must_use]
+    pub fn measure(&self, tensor: &Tensor) -> (u64, u64, usize) {
+        let signedness = tensor.signedness();
+        let det = WidthDetector::new(tensor.dtype().bits(), signedness);
+        let prefix_bits = u64::from(det.prefix_bits());
+        let mut metadata = 0u64;
+        let mut payload = 0u64;
+        let mut groups = 0usize;
+        for group in tensor.values().chunks(self.group_size) {
+            groups += 1;
+            metadata += group.len() as u64 + prefix_bits;
+            let w = u64::from(width::group_width(group, signedness));
+            payload += w * group.iter().filter(|&&v| v != 0).count() as u64;
+        }
+        (metadata, payload, groups)
+    }
+
+    /// Decodes a ShapeShifter stream back into the original tensor.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodecError::Stream`] if the stream is truncated.
+    /// * [`CodecError::WidthExceedsContainer`] / [`CodecError::CorruptValue`]
+    ///   if the stream's contents are inconsistent with its metadata.
+    pub fn decode(&self, encoded: &EncodedTensor) -> Result<Tensor, CodecError> {
+        let codec = ShapeShifterCodec::new(encoded.group_size);
+        let data = codec.decode_stream(
+            &encoded.bytes,
+            encoded.bit_len,
+            encoded.dtype,
+            encoded.len,
+        )?;
+        Ok(Tensor::from_vec(
+            Shape::flat(encoded.len),
+            encoded.dtype,
+            data,
+        )?)
+    }
+
+    /// Decodes a raw ShapeShifter stream given its framing metadata
+    /// (stream length in bits, container type, element count) — the form
+    /// the metadata takes when it travels separately from the stream, as
+    /// in the paper's per-layer descriptors or the `SSPK` file container.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShapeShifterCodec::decode`].
+    pub fn decode_stream(
+        &self,
+        bytes: &[u8],
+        bit_len: u64,
+        dtype: FixedType,
+        len: usize,
+    ) -> Result<Vec<i32>, CodecError> {
+        if bit_len > bytes.len() as u64 * 8 {
+            return Err(CodecError::Stream(ss_bitio::BitIoError::UnexpectedEnd {
+                requested: u32::MAX,
+                available: bytes.len() as u64 * 8,
+            }));
+        }
+        // Every encoded value costs at least its Z bit, so a stream of
+        // `bit_len` bits cannot hold more than `bit_len` values. Rejecting
+        // inflated (possibly hostile) length metadata here keeps the
+        // preallocation bounded by the input size.
+        if len as u64 > bit_len {
+            return Err(CodecError::Stream(ss_bitio::BitIoError::UnexpectedEnd {
+                requested: u32::MAX,
+                available: bit_len,
+            }));
+        }
+        let det = WidthDetector::new(dtype.bits(), dtype.signedness());
+        let prefix_bits = u32::from(det.prefix_bits());
+        let mut r = BitReader::with_bit_len(bytes, bit_len);
+        let mut data: Vec<i32> = Vec::with_capacity(len);
+        let mut group_idx = 0usize;
+
+        let mut zbits: Vec<bool> = Vec::with_capacity(self.group_size);
+        while data.len() < len {
+            let group_len = (len - data.len()).min(self.group_size);
+            zbits.clear();
+            let mut remaining = group_len;
+            while remaining > 0 {
+                let take = remaining.min(64);
+                let z = r.read_bits(take as u32)?;
+                for i in 0..take {
+                    zbits.push(z >> i & 1 == 1);
+                }
+                remaining -= take;
+            }
+            let p = r.read_bits(prefix_bits)? as u8 + 1;
+            if p > dtype.bits() {
+                return Err(CodecError::WidthExceedsContainer {
+                    group: group_idx,
+                    width: p,
+                    container: dtype.bits(),
+                });
+            }
+            for &is_zero in zbits.iter().take(group_len) {
+                if is_zero {
+                    data.push(0);
+                } else {
+                    let raw = r.read_bits(u32::from(p))?;
+                    let v = match dtype.signedness() {
+                        Signedness::Unsigned => raw as i32,
+                        Signedness::Signed => width::from_sign_magnitude(raw as u32),
+                    };
+                    if !dtype.contains(v) || v == 0 {
+                        // A payload slot decoding to zero is corrupt: zeros
+                        // travel in Z, never in the payload.
+                        return Err(CodecError::CorruptValue {
+                            index: data.len(),
+                            value: v,
+                        });
+                    }
+                    data.push(v);
+                }
+            }
+            group_idx += 1;
+        }
+        Ok(data)
+    }
+}
+
+impl Default for ShapeShifterCodec {
+    /// The paper's default group size of 16.
+    fn default() -> Self {
+        Self::new(16)
+    }
+}
+
+impl EncodedTensor {
+    /// The packed stream bytes.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Exact stream length in bits (the off-chip traffic this tensor
+    /// costs under ShapeShifter compression).
+    #[must_use]
+    pub fn bit_len(&self) -> u64 {
+        self.bit_len
+    }
+
+    /// Original element count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the original tensor was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The original container type.
+    #[must_use]
+    pub fn dtype(&self) -> FixedType {
+        self.dtype
+    }
+
+    /// Group size used for encoding.
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of encoded groups.
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Bits spent on `Z` vectors and `P` prefixes.
+    #[must_use]
+    pub fn metadata_bits(&self) -> u64 {
+        self.metadata_bits
+    }
+
+    /// Bits spent on value payloads.
+    #[must_use]
+    pub fn payload_bits(&self) -> u64 {
+        self.payload_bits
+    }
+
+    /// Uncompressed footprint in bits.
+    #[must_use]
+    pub fn uncompressed_bits(&self) -> u64 {
+        self.len as u64 * u64::from(self.dtype.bits())
+    }
+
+    /// Compression ratio: compressed / uncompressed (lower is better).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.len == 0 {
+            1.0
+        } else {
+            self.bit_len as f64 / self.uncompressed_bits() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dtype: FixedType, vals: Vec<i32>) -> Tensor {
+        Tensor::from_vec(Shape::flat(vals.len()), dtype, vals).unwrap()
+    }
+
+    #[test]
+    fn paper_figure6_worked_example() {
+        // Figure 6a: two groups of eight 8b values; group A needs 6 bits,
+        // group B needs 3.
+        let group_a = vec![0x25, 0x00, 0x01, 0x00, 0x07, 0x00, 0x00, 0x3F];
+        let group_b = vec![0x01, 0x02, 0x00, 0x00, 0x03, 0x05, 0x00, 0x07];
+        let mut vals = group_a;
+        vals.extend(&group_b);
+        let tensor = t(FixedType::U8, vals);
+        let codec = ShapeShifterCodec::new(8);
+        let enc = codec.encode(&tensor).unwrap();
+
+        // Group A: Z=8b, P=3b, 4 non-zeros x 6b = 24b -> 35 bits.
+        // Group B: Z=8b, P=3b, 5 non-zeros x 3b = 15b -> 26 bits.
+        assert_eq!(enc.bit_len(), 35 + 26);
+        assert_eq!(enc.metadata_bits(), 2 * (8 + 3));
+        assert_eq!(enc.payload_bits(), 4 * 6 + 5 * 3);
+        assert_eq!(enc.uncompressed_bits(), 128);
+        assert_eq!(codec.decode(&enc).unwrap(), tensor);
+    }
+
+    #[test]
+    fn paper_metadata_accounting() {
+        // "this scheme requires 4 + 16 bits of metadata per group of
+        // sixteen 16b values."
+        let tensor = t(FixedType::U16, (1..=16).collect());
+        let enc = ShapeShifterCodec::new(16).encode(&tensor).unwrap();
+        assert_eq!(enc.groups(), 1);
+        assert_eq!(enc.metadata_bits(), 16 + 4);
+    }
+
+    #[test]
+    fn all_zero_tensor_costs_only_metadata() {
+        let tensor = t(FixedType::I16, vec![0; 64]);
+        let enc = ShapeShifterCodec::new(16).encode(&tensor).unwrap();
+        assert_eq!(enc.payload_bits(), 0);
+        assert_eq!(enc.bit_len(), 4 * (16 + 4));
+        assert_eq!(ShapeShifterCodec::new(16).decode(&enc).unwrap(), tensor);
+    }
+
+    #[test]
+    fn signed_values_roundtrip() {
+        let tensor = t(
+            FixedType::I16,
+            vec![-32767, 32767, 0, -1, 1, 0, 0, -255, 255, 64, -64, 0, 3, -3, 2, -2],
+        );
+        let codec = ShapeShifterCodec::default();
+        let enc = codec.encode(&tensor).unwrap();
+        assert_eq!(codec.decode(&enc).unwrap(), tensor);
+    }
+
+    #[test]
+    fn partial_final_group_roundtrips() {
+        let tensor = t(FixedType::U8, vec![9, 0, 200]);
+        let codec = ShapeShifterCodec::new(16);
+        let enc = codec.encode(&tensor).unwrap();
+        assert_eq!(enc.groups(), 1);
+        // Z is only 3 bits wide for the short group.
+        assert_eq!(enc.metadata_bits(), 3 + 3);
+        assert_eq!(codec.decode(&enc).unwrap(), tensor);
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let tensor = t(FixedType::U8, vec![]);
+        let codec = ShapeShifterCodec::new(16);
+        let enc = codec.encode(&tensor).unwrap();
+        assert_eq!(enc.bit_len(), 0);
+        assert!(enc.is_empty());
+        assert_eq!(codec.decode(&enc).unwrap(), tensor);
+    }
+
+    #[test]
+    fn truncated_stream_errors_cleanly() {
+        let tensor = t(FixedType::U16, (100..116).collect());
+        let codec = ShapeShifterCodec::new(16);
+        let mut enc = codec.encode(&tensor).unwrap();
+        enc.bit_len /= 2;
+        let err = codec.decode(&enc).unwrap_err();
+        assert!(matches!(err, CodecError::Stream(_)), "got {err}");
+    }
+
+    #[test]
+    fn corrupt_payload_zero_detected() {
+        // Hand-craft a stream whose payload slot holds a zero.
+        let mut w = BitWriter::new();
+        w.write_bits(0b00, 2).unwrap(); // Z: both non-zero
+        w.write_bits(0, 3).unwrap(); // P: width 1
+        w.write_bits(1, 1).unwrap(); // value 1 (fine)
+        w.write_bits(0, 1).unwrap(); // value 0 (corrupt: zeros travel in Z)
+        let enc = EncodedTensor {
+            bit_len: w.bit_len(),
+            bytes: w.into_bytes(),
+            len: 2,
+            dtype: FixedType::U8,
+            group_size: 2,
+            groups: 1,
+            metadata_bits: 5,
+            payload_bits: 2,
+        };
+        let err = ShapeShifterCodec::new(2).decode(&enc).unwrap_err();
+        assert!(matches!(err, CodecError::CorruptValue { index: 1, .. }));
+    }
+
+    #[test]
+    fn wide_group_width_detected() {
+        // A 12-bit container uses a 4-bit P field which can declare widths
+        // up to 16: a corrupt header declaring width 16 must be rejected.
+        let mut w = BitWriter::new();
+        w.write_bits(0b0, 1).unwrap(); // Z: one non-zero value
+        w.write_bits(0b1111, 4).unwrap(); // P declares width 16 > container 12
+        w.write_bits(0xFFFF, 16).unwrap();
+        let enc = EncodedTensor {
+            bit_len: w.bit_len(),
+            bytes: w.into_bytes(),
+            len: 1,
+            dtype: FixedType::unsigned(12).unwrap(),
+            group_size: 1,
+            groups: 1,
+            metadata_bits: 5,
+            payload_bits: 16,
+        };
+        let err = ShapeShifterCodec::new(1).decode(&enc).unwrap_err();
+        assert!(matches!(
+            err,
+            CodecError::WidthExceedsContainer {
+                width: 16,
+                container: 12,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn smaller_groups_never_hurt_payload() {
+        // Finer groups can only reduce each group's width.
+        let vals: Vec<i32> = (0..256).map(|i| (i * 37) % 1000).collect();
+        let tensor = t(FixedType::U16, vals);
+        let p16 = ShapeShifterCodec::new(16)
+            .encode(&tensor)
+            .unwrap()
+            .payload_bits();
+        let p256 = ShapeShifterCodec::new(256)
+            .encode(&tensor)
+            .unwrap()
+            .payload_bits();
+        assert!(p16 <= p256);
+    }
+
+    #[test]
+    fn measure_matches_encode_exactly() {
+        let vals: Vec<i32> = (0..777).map(|i| ((i * 131) % 4000) - 2000).collect();
+        let tensor = t(FixedType::I16, vals);
+        for group in [1usize, 7, 16, 64, 256] {
+            let codec = ShapeShifterCodec::new(group);
+            let enc = codec.encode(&tensor).unwrap();
+            let (meta, payload, groups) = codec.measure(&tensor);
+            assert_eq!(meta, enc.metadata_bits(), "group {group}");
+            assert_eq!(payload, enc.payload_bits(), "group {group}");
+            assert_eq!(groups, enc.groups(), "group {group}");
+            assert_eq!(meta + payload, enc.bit_len(), "group {group}");
+        }
+    }
+
+    #[test]
+    fn ratio_reflects_compression() {
+        let tensor = t(FixedType::U16, vec![1; 160]);
+        let enc = ShapeShifterCodec::new(16).encode(&tensor).unwrap();
+        assert!(enc.ratio() < 0.2, "ratio {}", enc.ratio());
+    }
+}

@@ -1,0 +1,92 @@
+use std::error::Error;
+use std::fmt;
+
+use ss_bitio::BitIoError;
+use ss_tensor::TensorError;
+
+/// Errors produced by the ShapeShifter codec.
+///
+/// A decoder fed a corrupted or truncated stream must fail cleanly — the
+/// memory container travels over DDR4 and a robust implementation surfaces
+/// framing problems instead of producing garbage tensors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The underlying bit stream ended early or was malformed.
+    Stream(BitIoError),
+    /// A decoded group declared a width wider than the tensor's container.
+    WidthExceedsContainer {
+        /// Group index within the stream.
+        group: usize,
+        /// The declared width.
+        width: u8,
+        /// The container width.
+        container: u8,
+    },
+    /// A decoded value does not fit the tensor's container (corrupt
+    /// payload or wrong container metadata).
+    CorruptValue {
+        /// Flat index of the offending value.
+        index: usize,
+        /// The decoded value.
+        value: i32,
+    },
+    /// Tensor reconstruction failed (defensive; indicates a codec bug).
+    Tensor(TensorError),
+    /// A group size of zero was requested.
+    InvalidGroupSize,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Stream(e) => write!(f, "bit stream error: {e}"),
+            CodecError::WidthExceedsContainer {
+                group,
+                width,
+                container,
+            } => write!(
+                f,
+                "group {group} declares width {width} beyond the {container}-bit container"
+            ),
+            CodecError::CorruptValue { index, value } => {
+                write!(f, "decoded value {value} at index {index} is corrupt")
+            }
+            CodecError::Tensor(e) => write!(f, "tensor reconstruction failed: {e}"),
+            CodecError::InvalidGroupSize => write!(f, "group size must be non-zero"),
+        }
+    }
+}
+
+impl Error for CodecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CodecError::Stream(e) => Some(e),
+            CodecError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BitIoError> for CodecError {
+    fn from(e: BitIoError) -> Self {
+        CodecError::Stream(e)
+    }
+}
+
+impl From<TensorError> for CodecError {
+    fn from(e: TensorError) -> Self {
+        CodecError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain() {
+        let e = CodecError::from(BitIoError::FieldTooWide { bits: 99 });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("bit stream"));
+    }
+}

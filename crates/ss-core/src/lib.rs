@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! ShapeShifter: fine-grain per-group data width adaptation (MICRO 2019).
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! * [`WidthDetector`] — the hardware width-detection unit of Figure 5c
+//!   (per-bit OR trees plus a leading-1 detector), modelled gate-for-gate
+//!   and verified against the arithmetic definition.
+//! * [`ShapeShifterCodec`] — the lossless off-chip memory container of §3 /
+//!   Figure 6: values are grouped (16 by default), each group stores a
+//!   zero bit-vector `Z`, a width prefix `P`, and only its non-zero values
+//!   at `P` bits each in sign-magnitude form.
+//! * [`scheme`] — the off-chip compression schemes compared throughout the
+//!   evaluation: no compression, per-layer Profile (Proteus), ShapeShifter,
+//!   Eyeriss/SCNN-style zero run-length encoding, and the outlier-aware
+//!   storage formats of Figure 16. All report exact bit counts.
+//! * [`decompressor`] — the two-level (L1D/L2D) streaming decompressor of
+//!   Figure 6d as a cycle-approximate model, used to check the decoder
+//!   keeps up with the DDR4 stream.
+//! * [`analysis`] — the measurement machinery behind §2: per-group width
+//!   CDFs (Figures 1–3), per-layer effective widths (Table 1), and
+//!   per-layer vs per-value width/work comparisons (Figure 4).
+//!
+//! # Quick start
+//!
+//! ```
+//! use ss_core::ShapeShifterCodec;
+//! use ss_tensor::{FixedType, Shape, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let t = Tensor::from_vec(
+//!     Shape::flat(8),
+//!     FixedType::I16,
+//!     vec![3, 0, -1, 0, 0, 0, 200, -7],
+//! )?;
+//! let codec = ShapeShifterCodec::new(16);
+//! let encoded = codec.encode(&t)?;
+//! assert!(encoded.bit_len() < t.container_bits()); // it compressed
+//! let back = codec.decode(&encoded)?;
+//! assert_eq!(back, t); // losslessly
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+mod codec;
+pub mod decompressor;
+mod detector;
+mod error;
+pub mod scheme;
+
+pub use codec::{EncodedTensor, ShapeShifterCodec};
+pub use detector::WidthDetector;
+pub use error::CodecError;

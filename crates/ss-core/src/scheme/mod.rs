@@ -1,0 +1,105 @@
+//! Off-chip compression schemes compared in the evaluation (Figures 8–11
+//! and 16).
+//!
+//! Every scheme reports the **exact bit count** a tensor occupies off-chip,
+//! so relative-traffic figures are reproduced without approximation:
+//!
+//! * [`Base`] — no compression: `len × container` bits.
+//! * [`ProfileScheme`] — per-layer profile-derived width (Judd et al.,
+//!   Proteus): every value of the layer stored at the profiled width.
+//! * [`ShapeShifterScheme`] — the paper's per-group container (§3).
+//! * [`ZeroRle`] — Eyeriss/SCNN-style zero run-length encoding.
+//! * [`outlier_aware_bits`] / [`outlier_aware_zs_bits`] — the
+//!   outlier-aware storage formats of Figure 16.
+
+mod delta;
+mod outlier_store;
+mod profile;
+mod shapeshifter;
+mod zero_rle;
+
+pub use delta::DeltaShapeShifter;
+pub use outlier_store::{outlier_aware_bits, outlier_aware_zs_bits};
+pub use profile::ProfileScheme;
+pub use shapeshifter::ShapeShifterScheme;
+pub use zero_rle::ZeroRle;
+
+use ss_tensor::Tensor;
+
+/// Per-tensor context a scheme may consult.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SchemeCtx {
+    /// Profile-derived per-layer width, if profiling was possible
+    /// (`None` models the paper's "non-profiled networks" of Figure 8b).
+    pub profiled_width: Option<u8>,
+}
+
+impl SchemeCtx {
+    /// Context with a profile available.
+    #[must_use]
+    pub fn profiled(width: u8) -> Self {
+        Self {
+            profiled_width: Some(width),
+        }
+    }
+
+    /// Context without profiling (Figure 8b operation).
+    #[must_use]
+    pub fn unprofiled() -> Self {
+        Self {
+            profiled_width: None,
+        }
+    }
+}
+
+/// An off-chip storage scheme: maps a tensor to its exact off-chip size.
+pub trait CompressionScheme {
+    /// Display name used in figures ("Base", "Profile", "ShapeShifter",
+    /// "Zero compression").
+    fn name(&self) -> &str;
+
+    /// Exact compressed size of `tensor` in bits, including all metadata.
+    fn compressed_bits(&self, tensor: &Tensor, ctx: &SchemeCtx) -> u64;
+
+    /// Compression ratio relative to the uncompressed container
+    /// (lower is better; 1.0 means no gain).
+    fn ratio(&self, tensor: &Tensor, ctx: &SchemeCtx) -> f64 {
+        if tensor.is_empty() {
+            return 1.0;
+        }
+        self.compressed_bits(tensor, ctx) as f64 / tensor.container_bits() as f64
+    }
+}
+
+/// Uncompressed baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Base;
+
+impl CompressionScheme for Base {
+    fn name(&self) -> &str {
+        "Base"
+    }
+
+    fn compressed_bits(&self, tensor: &Tensor, _ctx: &SchemeCtx) -> u64 {
+        tensor.container_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_tensor::{FixedType, Shape};
+
+    #[test]
+    fn base_is_the_container() {
+        let t = Tensor::from_vec(Shape::flat(4), FixedType::U16, vec![0, 1, 2, 3]).unwrap();
+        assert_eq!(Base.compressed_bits(&t, &SchemeCtx::default()), 64);
+        assert_eq!(Base.ratio(&t, &SchemeCtx::default()), 1.0);
+    }
+
+    #[test]
+    fn empty_tensor_ratio_is_one() {
+        let t = Tensor::from_vec(Shape::flat(0), FixedType::U16, vec![]).unwrap();
+        assert_eq!(Base.ratio(&t, &SchemeCtx::default()), 1.0);
+    }
+}

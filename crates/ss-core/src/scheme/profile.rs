@@ -1,0 +1,79 @@
+//! The per-layer Profile compression baseline (Judd et al., Proteus,
+//! ICS 2016) — what the paper's "Profile" bars report.
+
+use ss_tensor::Tensor;
+
+use crate::scheme::{CompressionScheme, SchemeCtx};
+
+/// Per-layer profile-derived width compression: every value of the layer
+/// is stored at the width the *worst* value of the whole layer needs,
+/// determined by profiling over a calibration set.
+///
+/// Losslessness guard: if the tensor at hand contains a value wider than
+/// the profile predicted (possible with any finite calibration set), the
+/// stored width grows to cover it — the same provisioning a deployed
+/// Proteus-style design must make.
+///
+/// Per-layer metadata (the chosen width) is a constant handful of bits and
+/// is included.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ProfileScheme;
+
+/// Bits of per-layer metadata: the stored width field.
+const LAYER_METADATA_BITS: u64 = 8;
+
+impl CompressionScheme for ProfileScheme {
+    fn name(&self) -> &str {
+        "Profile"
+    }
+
+    fn compressed_bits(&self, tensor: &Tensor, ctx: &SchemeCtx) -> u64 {
+        // Without a profile the scheme cannot operate: it stores at the
+        // full container width (equivalent to Base).
+        let profiled = ctx.profiled_width.unwrap_or(tensor.dtype().bits());
+        // Lossless guard: never narrower than this tensor actually needs.
+        let width = profiled
+            .max(tensor.profiled_width())
+            .min(tensor.dtype().bits());
+        tensor.len() as u64 * u64::from(width) + LAYER_METADATA_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_tensor::{FixedType, Shape};
+
+    fn t(vals: Vec<i32>) -> Tensor {
+        Tensor::from_vec(Shape::flat(vals.len()), FixedType::U16, vals).unwrap()
+    }
+
+    #[test]
+    fn stores_at_profiled_width() {
+        let tensor = t(vec![1, 2, 3, 4]);
+        let bits = ProfileScheme.compressed_bits(&tensor, &SchemeCtx::profiled(10));
+        assert_eq!(bits, 4 * 10 + LAYER_METADATA_BITS);
+    }
+
+    #[test]
+    fn grows_to_cover_an_unexpected_value() {
+        // Profile said 4 bits, but a 10-bit value appears.
+        let tensor = t(vec![1, 2, 1000]);
+        let bits = ProfileScheme.compressed_bits(&tensor, &SchemeCtx::profiled(4));
+        assert_eq!(bits, 3 * 10 + LAYER_METADATA_BITS);
+    }
+
+    #[test]
+    fn without_profile_falls_back_to_container() {
+        let tensor = t(vec![1, 2, 3, 4]);
+        let bits = ProfileScheme.compressed_bits(&tensor, &SchemeCtx::unprofiled());
+        assert_eq!(bits, 4 * 16 + LAYER_METADATA_BITS);
+    }
+
+    #[test]
+    fn never_exceeds_container_width() {
+        let tensor = t(vec![65_535]);
+        let bits = ProfileScheme.compressed_bits(&tensor, &SchemeCtx::profiled(99));
+        assert_eq!(bits, 16 + LAYER_METADATA_BITS);
+    }
+}

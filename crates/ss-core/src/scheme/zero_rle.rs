@@ -1,0 +1,153 @@
+//! Zero run-length compression as used by Eyeriss and SCNN — the
+//! paper's "Zero compression" bars.
+
+use ss_tensor::Tensor;
+
+use crate::scheme::{CompressionScheme, SchemeCtx};
+
+/// Zero run-length encoding: the stream is a sequence of
+/// `(run, value)` tokens where `run` counts the zeros preceding `value`,
+/// in `run_bits` bits (Eyeriss uses 5-bit runs for 16-bit data). Runs
+/// longer than the field encodes are split with explicit zero values, and
+/// trailing zeros cost a final token.
+///
+/// Unlike ShapeShifter this scheme can *expand* dense data — every
+/// non-zero value pays the run field on top of its full-width container —
+/// which is exactly what Figure 8a shows on the TF-quantized models whose
+/// zero population the quantizer destroyed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ZeroRle {
+    run_bits: u8,
+}
+
+impl ZeroRle {
+    /// Creates the scheme with the given run-length field width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= run_bits <= 16`.
+    #[must_use]
+    pub fn new(run_bits: u8) -> Self {
+        assert!(
+            (1..=16).contains(&run_bits),
+            "run field width {run_bits} outside 1..=16"
+        );
+        Self { run_bits }
+    }
+
+    /// Maximum zero-run a single token can express.
+    #[must_use]
+    pub fn max_run(&self) -> u64 {
+        (1 << self.run_bits) - 1
+    }
+
+    /// Number of `(run, value)` tokens needed for a value slice.
+    #[must_use]
+    pub fn token_count(&self, values: &[i32]) -> u64 {
+        let max_run = self.max_run();
+        let mut tokens = 0u64;
+        let mut run = 0u64;
+        for &v in values {
+            if v == 0 {
+                if run == max_run {
+                    // The run field is saturated: this zero travels in the
+                    // token's value slot, closing a (max_run, 0) token.
+                    tokens += 1;
+                    run = 0;
+                } else {
+                    run += 1;
+                }
+            } else {
+                tokens += 1;
+                run = 0;
+            }
+        }
+        if run > 0 {
+            tokens += 1; // trailing zeros need a terminator token
+        }
+        tokens
+    }
+}
+
+impl Default for ZeroRle {
+    /// Eyeriss's 5-bit run-length field.
+    fn default() -> Self {
+        Self::new(5)
+    }
+}
+
+impl CompressionScheme for ZeroRle {
+    fn name(&self) -> &str {
+        "Zero compression"
+    }
+
+    fn compressed_bits(&self, tensor: &Tensor, _ctx: &SchemeCtx) -> u64 {
+        self.token_count(tensor.values())
+            * (u64::from(self.run_bits) + u64::from(tensor.dtype().bits()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_tensor::{FixedType, Shape};
+
+    fn t(vals: Vec<i32>) -> Tensor {
+        Tensor::from_vec(Shape::flat(vals.len()), FixedType::U16, vals).unwrap()
+    }
+
+    #[test]
+    fn dense_data_expands() {
+        let tensor = t(vec![1; 32]);
+        let scheme = ZeroRle::default();
+        let ratio = scheme.ratio(&tensor, &SchemeCtx::unprofiled());
+        assert!(ratio > 1.0, "dense data must expand, ratio {ratio}");
+        assert_eq!(
+            scheme.compressed_bits(&tensor, &SchemeCtx::unprofiled()),
+            32 * (5 + 16)
+        );
+    }
+
+    #[test]
+    fn sparse_data_compresses() {
+        let mut vals = vec![0i32; 31];
+        vals.push(9);
+        let tensor = t(vals);
+        let scheme = ZeroRle::default();
+        // One token: run 31 + value 9.
+        assert_eq!(scheme.token_count(tensor.values()), 1);
+        assert!(scheme.ratio(&tensor, &SchemeCtx::unprofiled()) < 0.05);
+    }
+
+    #[test]
+    fn run_saturation_splits_tokens() {
+        let scheme = ZeroRle::default();
+        // 31 zeros fill the 5-bit run field; the 32nd travels as an
+        // explicit zero value, then 5 needs its own token.
+        let mut vals = vec![0i32; 31];
+        vals.push(0); // saturating zero becomes the token's value
+        vals.push(5);
+        assert_eq!(scheme.token_count(&vals), 2);
+        // Exactly 31 zeros + a value still fits one token.
+        let mut vals = vec![0i32; 31];
+        vals.push(5);
+        assert_eq!(scheme.token_count(&vals), 1);
+    }
+
+    #[test]
+    fn trailing_zeros_cost_a_token() {
+        let scheme = ZeroRle::default();
+        assert_eq!(scheme.token_count(&[1, 0, 0]), 2);
+        assert_eq!(scheme.token_count(&[0, 0]), 1);
+        assert_eq!(scheme.token_count(&[]), 0);
+    }
+
+    #[test]
+    fn long_zero_tensor() {
+        let scheme = ZeroRle::new(2); // max run 3
+        // 8 zeros: (3,0) consumes 4, (3,0) consumes 4 -> 2 tokens.
+        assert_eq!(scheme.token_count(&[0; 8]), 2);
+        // 9 zeros: 2 full tokens + 1 trailing zero -> 3 tokens.
+        assert_eq!(scheme.token_count(&[0; 9]), 3);
+    }
+}

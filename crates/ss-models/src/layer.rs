@@ -1,0 +1,426 @@
+//! Layer descriptors: published geometry plus per-layer value statistics.
+
+use std::fmt;
+
+use crate::LayerStats;
+
+/// The computational shape of a network layer.
+///
+/// Only layers that move weights and dominate compute are modeled — the
+/// convolution, fully-connected and LSTM layers the paper reports per-layer
+/// results for. Pooling/activation layers move no weights and contribute
+/// negligible MACs; their effect on activation geometry is folded into the
+/// explicit input/output spatial sizes of the adjacent layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Standard convolution: `out_ch` filters of `(in_ch / groups) × kh × kw`
+    /// applied at `out_h × out_w` positions over an `in_h × in_w` input.
+    /// `groups > 1` models AlexNet-style grouped convolution.
+    Conv {
+        /// Number of output channels (filters).
+        out_ch: usize,
+        /// Number of input channels.
+        in_ch: usize,
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+        /// Input spatial height.
+        in_h: usize,
+        /// Input spatial width.
+        in_w: usize,
+        /// Output spatial height.
+        out_h: usize,
+        /// Output spatial width.
+        out_w: usize,
+        /// Channel groups (1 for a dense convolution).
+        groups: usize,
+    },
+    /// Depthwise convolution: one `kh × kw` filter per channel.
+    DwConv {
+        /// Channel count (input = output).
+        channels: usize,
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+        /// Input spatial height.
+        in_h: usize,
+        /// Input spatial width.
+        in_w: usize,
+        /// Output spatial height.
+        out_h: usize,
+        /// Output spatial width.
+        out_w: usize,
+    },
+    /// Fully-connected layer: `outputs × inputs` weight matrix.
+    Fc {
+        /// Input features.
+        inputs: usize,
+        /// Output features.
+        outputs: usize,
+    },
+    /// LSTM layer unrolled over `steps` timesteps. Weights are the four
+    /// gate matrices over the concatenated `[input, hidden]` vector.
+    Lstm {
+        /// Input feature size.
+        input: usize,
+        /// Hidden state size.
+        hidden: usize,
+        /// Unrolled sequence length.
+        steps: usize,
+    },
+}
+
+impl LayerKind {
+    /// Multiply-accumulate operations to evaluate the layer once.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        match *self {
+            LayerKind::Conv {
+                out_ch,
+                in_ch,
+                kh,
+                kw,
+                out_h,
+                out_w,
+                groups,
+                ..
+            } => (out_ch * (in_ch / groups) * kh * kw * out_h * out_w) as u64,
+            LayerKind::DwConv {
+                channels,
+                kh,
+                kw,
+                out_h,
+                out_w,
+                ..
+            } => (channels * kh * kw * out_h * out_w) as u64,
+            LayerKind::Fc { inputs, outputs } => (inputs * outputs) as u64,
+            LayerKind::Lstm {
+                input,
+                hidden,
+                steps,
+            } => (steps * 4 * hidden * (input + hidden)) as u64,
+        }
+    }
+
+    /// Number of weight values.
+    #[must_use]
+    pub fn weight_count(&self) -> usize {
+        match *self {
+            LayerKind::Conv {
+                out_ch,
+                in_ch,
+                kh,
+                kw,
+                groups,
+                ..
+            } => out_ch * (in_ch / groups) * kh * kw,
+            LayerKind::DwConv {
+                channels, kh, kw, ..
+            } => channels * kh * kw,
+            LayerKind::Fc { inputs, outputs } => inputs * outputs,
+            LayerKind::Lstm { input, hidden, .. } => 4 * hidden * (input + hidden),
+        }
+    }
+
+    /// Number of input activation values.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        match *self {
+            LayerKind::Conv {
+                in_ch, in_h, in_w, ..
+            } => in_ch * in_h * in_w,
+            LayerKind::DwConv {
+                channels,
+                in_h,
+                in_w,
+                ..
+            } => channels * in_h * in_w,
+            LayerKind::Fc { inputs, .. } => inputs,
+            LayerKind::Lstm { input, steps, .. } => input * steps,
+        }
+    }
+
+    /// Number of output activation values.
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        match *self {
+            LayerKind::Conv {
+                out_ch,
+                out_h,
+                out_w,
+                ..
+            } => out_ch * out_h * out_w,
+            LayerKind::DwConv {
+                channels,
+                out_h,
+                out_w,
+                ..
+            } => channels * out_h * out_w,
+            LayerKind::Fc { outputs, .. } => outputs,
+            LayerKind::Lstm { hidden, steps, .. } => hidden * steps,
+        }
+    }
+
+    /// `true` for fully-connected and LSTM layers, whose weights dominate
+    /// traffic (the "memory-bound" layers of the paper's analysis).
+    #[must_use]
+    pub fn is_weight_dominated(&self) -> bool {
+        matches!(self, LayerKind::Fc { .. } | LayerKind::Lstm { .. })
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LayerKind::Conv {
+                out_ch,
+                in_ch,
+                kh,
+                kw,
+                ..
+            } => write!(f, "conv {out_ch}x{in_ch}x{kh}x{kw}"),
+            LayerKind::DwConv {
+                channels, kh, kw, ..
+            } => write!(f, "dwconv {channels}x{kh}x{kw}"),
+            LayerKind::Fc { inputs, outputs } => write!(f, "fc {outputs}x{inputs}"),
+            LayerKind::Lstm {
+                input,
+                hidden,
+                steps,
+            } => write!(f, "lstm {hidden}({input})x{steps}"),
+        }
+    }
+}
+
+/// A named layer: geometry plus per-layer value statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    name: String,
+    kind: LayerKind,
+    stats: LayerStats,
+}
+
+impl Layer {
+    /// Creates a layer descriptor.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: LayerKind, stats: LayerStats) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            stats,
+        }
+    }
+
+    /// The layer's name as reported in figures (e.g. `conv1`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer's geometry.
+    #[must_use]
+    pub fn kind(&self) -> &LayerKind {
+        &self.kind
+    }
+
+    /// The layer's value statistics.
+    #[must_use]
+    pub fn stats(&self) -> &LayerStats {
+        &self.stats
+    }
+
+    /// MACs to evaluate the layer (delegates to [`LayerKind::macs`]).
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.kind.macs()
+    }
+
+    /// Weight count (delegates to [`LayerKind::weight_count`]).
+    #[must_use]
+    pub fn weight_count(&self) -> usize {
+        self.kind.weight_count()
+    }
+
+    /// Input activation count (delegates to [`LayerKind::input_count`]).
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.kind.input_count()
+    }
+
+    /// Output activation count (delegates to [`LayerKind::output_count`]).
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.kind.output_count()
+    }
+}
+
+/// Shorthand for a square-kernel, square-image convolution layer.
+#[must_use]
+pub fn conv(
+    name: &str,
+    out_ch: usize,
+    in_ch: usize,
+    k: usize,
+    in_hw: usize,
+    out_hw: usize,
+    stats: LayerStats,
+) -> Layer {
+    conv_g(name, out_ch, in_ch, k, in_hw, out_hw, 1, stats)
+}
+
+/// Shorthand for a grouped square convolution layer (AlexNet conv2/4/5).
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn conv_g(
+    name: &str,
+    out_ch: usize,
+    in_ch: usize,
+    k: usize,
+    in_hw: usize,
+    out_hw: usize,
+    groups: usize,
+    stats: LayerStats,
+) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Conv {
+            out_ch,
+            in_ch,
+            kh: k,
+            kw: k,
+            in_h: in_hw,
+            in_w: in_hw,
+            out_h: out_hw,
+            out_w: out_hw,
+            groups,
+        },
+        stats,
+    )
+}
+
+/// Shorthand for a rectangular (non-square image) convolution layer.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn conv_rect(
+    name: &str,
+    out_ch: usize,
+    in_ch: usize,
+    k: usize,
+    in_hw: (usize, usize),
+    out_hw: (usize, usize),
+    stats: LayerStats,
+) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Conv {
+            out_ch,
+            in_ch,
+            kh: k,
+            kw: k,
+            in_h: in_hw.0,
+            in_w: in_hw.1,
+            out_h: out_hw.0,
+            out_w: out_hw.1,
+            groups: 1,
+        },
+        stats,
+    )
+}
+
+/// Shorthand for a square depthwise convolution layer.
+#[must_use]
+pub fn dwconv(
+    name: &str,
+    channels: usize,
+    k: usize,
+    in_hw: usize,
+    out_hw: usize,
+    stats: LayerStats,
+) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::DwConv {
+            channels,
+            kh: k,
+            kw: k,
+            in_h: in_hw,
+            in_w: in_hw,
+            out_h: out_hw,
+            out_w: out_hw,
+        },
+        stats,
+    )
+}
+
+/// Shorthand for a fully-connected layer.
+#[must_use]
+pub fn fc(name: &str, inputs: usize, outputs: usize, stats: LayerStats) -> Layer {
+    Layer::new(name, LayerKind::Fc { inputs, outputs }, stats)
+}
+
+/// Shorthand for an LSTM layer.
+#[must_use]
+pub fn lstm(name: &str, input: usize, hidden: usize, steps: usize, stats: LayerStats) -> Layer {
+    Layer::new(
+        name,
+        LayerKind::Lstm {
+            input,
+            hidden,
+            steps,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_arithmetic() {
+        // AlexNet conv1: 96 filters, 3x11x11, 224x224 -> 55x55.
+        let l = conv("conv1", 96, 3, 11, 224, 55, LayerStats::dense(6.5, 4.2));
+        assert_eq!(l.weight_count(), 34_848);
+        assert_eq!(l.macs(), 96 * 3 * 11 * 11 * 55 * 55);
+        assert_eq!(l.input_count(), 3 * 224 * 224);
+        assert_eq!(l.output_count(), 96 * 55 * 55);
+        assert!(!l.kind().is_weight_dominated());
+    }
+
+    #[test]
+    fn dwconv_arithmetic() {
+        let l = dwconv("dw1", 32, 3, 112, 112, LayerStats::dense(6.0, 3.0));
+        assert_eq!(l.weight_count(), 32 * 9);
+        assert_eq!(l.macs(), (32 * 9 * 112 * 112) as u64);
+        assert_eq!(l.input_count(), l.output_count());
+    }
+
+    #[test]
+    fn fc_arithmetic() {
+        let l = fc("fc6", 9216, 4096, LayerStats::dense(2.0, 3.5));
+        assert_eq!(l.weight_count(), 9216 * 4096);
+        assert_eq!(l.macs(), (9216 * 4096) as u64);
+        assert_eq!(l.input_count(), 9216);
+        assert_eq!(l.output_count(), 4096);
+        assert!(l.kind().is_weight_dominated());
+    }
+
+    #[test]
+    fn lstm_arithmetic() {
+        let l = lstm("lstm1", 512, 512, 20, LayerStats::dense(4.0, 4.0));
+        assert_eq!(l.weight_count(), 4 * 512 * 1024);
+        assert_eq!(l.macs(), 20 * 4 * 512 * 1024);
+        assert_eq!(l.input_count(), 512 * 20);
+        assert_eq!(l.output_count(), 512 * 20);
+    }
+
+    #[test]
+    fn display_forms() {
+        let l = conv("c", 8, 4, 3, 8, 8, LayerStats::dense(4.0, 4.0));
+        assert_eq!(l.kind().to_string(), "conv 8x4x3x3");
+        let l = fc("f", 10, 20, LayerStats::dense(4.0, 4.0));
+        assert_eq!(l.kind().to_string(), "fc 20x10");
+    }
+}

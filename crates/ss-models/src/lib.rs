@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Synthetic neural-network model zoo for the ShapeShifter reproduction.
+//!
+//! The paper evaluates on pretrained Caffe/TensorFlow models driven by
+//! ImageNet/CamVid/Flickr8k inputs (Table 2). Neither the trained parameters
+//! nor the datasets are available here, so this crate substitutes — as
+//! documented in `DESIGN.md` §4 — the two properties every ShapeShifter
+//! result actually depends on:
+//!
+//! 1. **Exact layer geometry.** Each network in [`zoo`] reproduces the
+//!    published architecture layer by layer: kernel shapes, channel counts,
+//!    strides, and the resulting MAC/weight/activation counts.
+//! 2. **The skewed value distribution.** Weights and activations are drawn
+//!    from a zero-inflated exponential-magnitude distribution whose scale is
+//!    *calibrated per layer* so that the expected per-group effective width
+//!    matches the paper's own Table 1 measurements (where published) or
+//!    representative targets (where not). See [`stats`].
+//!
+//! Generation is fully deterministic given a seed, so experiments are
+//! reproducible and "profiling over many inputs" is meaningful.
+//!
+//! # Examples
+//!
+//! ```
+//! use ss_models::zoo;
+//!
+//! let net = zoo::alexnet();
+//! assert_eq!(net.layers().len(), 8);
+//! // conv1 of AlexNet: 96 filters of 3x11x11.
+//! assert_eq!(net.layers()[0].weight_count(), 96 * 3 * 11 * 11);
+//!
+//! // Deterministic synthetic weights for layer 0:
+//! let w = net.weight_tensor(0, 1234);
+//! assert_eq!(w.len(), net.layers()[0].weight_count());
+//! ```
+
+mod gen;
+mod layer;
+mod network;
+pub mod stats;
+pub mod zoo;
+
+pub use gen::ValueGen;
+pub use layer::{Layer, LayerKind};
+pub use network::Network;
+pub use stats::LayerStats;

@@ -1,0 +1,323 @@
+//! Whole-network descriptors and deterministic tensor instantiation.
+
+use ss_tensor::{FixedType, Tensor};
+
+use crate::gen::derive_seed;
+use crate::{Layer, LayerKind, ValueGen};
+
+/// A network: a name, an ordered list of layers, and the master container
+/// types of its weights and activations.
+///
+/// All zoo networks are built as **int16 masters** (signed 16b weights,
+/// unsigned 16b post-ReLU activations); the 8b model variants the paper
+/// studies are derived from these masters by the quantizers in `ss-quant`,
+/// mirroring how the paper derives its int8 models from trained
+/// full-precision networks.
+///
+/// Tensor generation is deterministic: weights depend only on the network
+/// (same weights for every input, as in a trained model), activations on a
+/// per-input seed.
+///
+/// # Examples
+///
+/// ```
+/// use ss_models::zoo;
+///
+/// let net = zoo::vgg_s();
+/// let w0a = net.weight_tensor(0, 0);
+/// let w0b = net.weight_tensor(0, 0);
+/// assert_eq!(w0a, w0b);
+///
+/// let in0 = net.input_tensor(0, 17);
+/// assert_eq!(in0.len(), net.layers()[0].input_count());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+    weight_dtype: FixedType,
+    act_dtype: FixedType,
+}
+
+/// Tag namespaces keeping weight and activation seed streams disjoint.
+const WEIGHT_TAG: u64 = 0x5747_0000_0000_0000; // "WG"
+const ACT_TAG: u64 = 0x4143_0000_0000_0000; // "AC"
+
+impl Network {
+    /// Creates a network over int16 master containers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "a network needs at least one layer");
+        Self {
+            name: name.into(),
+            layers,
+            weight_dtype: FixedType::I16,
+            act_dtype: FixedType::U16,
+        }
+    }
+
+    /// The network's display name (as used in the paper's figures).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered layer list.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Master weight container (int16 for all zoo networks).
+    #[must_use]
+    pub fn weight_dtype(&self) -> FixedType {
+        self.weight_dtype
+    }
+
+    /// Master activation container (u16 post-ReLU for all zoo networks).
+    #[must_use]
+    pub fn act_dtype(&self) -> FixedType {
+        self.act_dtype
+    }
+
+    /// Total MACs over all layers.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total weight count over all layers.
+    #[must_use]
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(|l| l.weight_count() as u64).sum()
+    }
+
+    /// Total activation values moved (inputs read + outputs written).
+    #[must_use]
+    pub fn total_activations(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| (l.input_count() + l.output_count()) as u64)
+            .sum()
+    }
+
+    /// Generator for a layer's weights.
+    #[must_use]
+    pub fn weight_gen(&self, layer: usize) -> ValueGen {
+        let s = self.layers[layer].stats();
+        ValueGen::from_width_target(s.wgt_width, s.wgt_sparsity, self.weight_dtype)
+    }
+
+    /// Generator for a layer's input activations.
+    #[must_use]
+    pub fn input_gen(&self, layer: usize) -> ValueGen {
+        let s = self.layers[layer].stats();
+        ValueGen::from_width_target(s.act_width, s.act_sparsity, self.act_dtype)
+    }
+
+    /// The synthetic weights of `layer`. Deterministic in `model_seed` and
+    /// independent of any input (a trained model's weights are fixed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[must_use]
+    pub fn weight_tensor(&self, layer: usize, model_seed: u64) -> Tensor {
+        let seed = derive_seed(model_seed, WEIGHT_TAG | layer as u64);
+        self.weight_gen(layer)
+            .tensor_flat(self.layers[layer].weight_count(), seed)
+    }
+
+    /// The synthetic input activations of `layer` for one input.
+    /// Deterministic in `input_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[must_use]
+    pub fn input_tensor(&self, layer: usize, input_seed: u64) -> Tensor {
+        let seed = derive_seed(input_seed, ACT_TAG | layer as u64);
+        self.input_gen(layer)
+            .tensor_flat(self.layers[layer].input_count(), seed)
+    }
+
+    /// The synthetic output activations of `layer` for one input.
+    ///
+    /// Output values are drawn with the statistics of the *next* layer's
+    /// input (output of layer `i` is input of layer `i+1`) and from the same
+    /// seed stream, so whenever the element counts agree — every layer of a
+    /// linear network — `output_tensor(i, s) == input_tensor(i + 1, s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    #[must_use]
+    pub fn output_tensor(&self, layer: usize, input_seed: u64) -> Tensor {
+        let stats_layer = (layer + 1).min(self.layers.len() - 1);
+        let s = self.layers[stats_layer].stats();
+        let gen = ValueGen::from_width_target(s.act_width, s.act_sparsity, self.act_dtype);
+        let seed = derive_seed(input_seed, ACT_TAG | (layer as u64 + 1));
+        gen.tensor_flat(self.layers[layer].output_count(), seed)
+    }
+
+    /// A geometry-reduced copy for fast tests: channel counts and spatial
+    /// extents are divided by `divisor` (floored at 1). Value statistics are
+    /// unchanged, so width behaviour is preserved at a fraction of the data
+    /// volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0`.
+    #[must_use]
+    pub fn scaled_down(&self, divisor: usize) -> Network {
+        assert!(divisor > 0, "divisor must be non-zero");
+        let d = |x: usize| (x / divisor).max(1);
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| {
+                let kind = match *l.kind() {
+                    LayerKind::Conv {
+                        out_ch,
+                        in_ch,
+                        kh,
+                        kw,
+                        in_h,
+                        in_w,
+                        out_h,
+                        out_w,
+                        groups,
+                    } => LayerKind::Conv {
+                        out_ch: d(out_ch).max(groups),
+                        in_ch: d(in_ch).max(groups),
+                        kh,
+                        kw,
+                        in_h: d(in_h),
+                        in_w: d(in_w),
+                        out_h: d(out_h),
+                        out_w: d(out_w),
+                        groups,
+                    },
+                    LayerKind::DwConv {
+                        channels,
+                        kh,
+                        kw,
+                        in_h,
+                        in_w,
+                        out_h,
+                        out_w,
+                    } => LayerKind::DwConv {
+                        channels: d(channels),
+                        kh,
+                        kw,
+                        in_h: d(in_h),
+                        in_w: d(in_w),
+                        out_h: d(out_h),
+                        out_w: d(out_w),
+                    },
+                    LayerKind::Fc { inputs, outputs } => LayerKind::Fc {
+                        inputs: d(inputs),
+                        outputs: d(outputs),
+                    },
+                    LayerKind::Lstm {
+                        input,
+                        hidden,
+                        steps,
+                    } => LayerKind::Lstm {
+                        input: d(input),
+                        hidden: d(hidden),
+                        steps: d(steps),
+                    },
+                };
+                Layer::new(l.name(), kind, *l.stats())
+            })
+            .collect();
+        Network {
+            name: format!("{}@1/{divisor}", self.name),
+            layers,
+            weight_dtype: self.weight_dtype,
+            act_dtype: self.act_dtype,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{conv, fc};
+    use crate::LayerStats;
+
+    fn tiny() -> Network {
+        Network::new(
+            "tiny",
+            vec![
+                conv("c1", 8, 3, 3, 16, 16, LayerStats::dense(6.0, 4.0)),
+                conv("c2", 16, 8, 3, 16, 8, LayerStats::dense(4.0, 4.0)),
+                fc("f1", 16 * 8 * 8, 10, LayerStats::dense(3.0, 3.5)),
+            ],
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let n = tiny();
+        assert_eq!(n.total_macs(), n.layers().iter().map(Layer::macs).sum());
+        assert_eq!(
+            n.total_weights(),
+            (8 * 3 * 9 + 16 * 8 * 9 + 16 * 8 * 8 * 10) as u64
+        );
+    }
+
+    #[test]
+    fn weights_are_input_independent() {
+        let n = tiny();
+        assert_eq!(n.weight_tensor(1, 5), n.weight_tensor(1, 5));
+        assert_ne!(n.weight_tensor(1, 5), n.weight_tensor(1, 6));
+        // Different layers draw from different streams.
+        assert_ne!(
+            n.weight_tensor(0, 5).values()[..10],
+            n.weight_tensor(1, 5).values()[..10]
+        );
+    }
+
+    #[test]
+    fn activations_vary_per_input() {
+        let n = tiny();
+        assert_eq!(n.input_tensor(0, 1), n.input_tensor(0, 1));
+        assert_ne!(n.input_tensor(0, 1), n.input_tensor(0, 2));
+    }
+
+    #[test]
+    fn output_equals_next_input_on_linear_chains() {
+        let n = tiny();
+        // c1 output (16x16 spatial kept? c1: out 8 ch @16 -> 2048 values) vs
+        // c2 input (8 ch @16 -> 2048): counts agree for layer 0.
+        assert_eq!(n.layers()[0].output_count(), n.layers()[1].input_count());
+        assert_eq!(n.output_tensor(0, 9), n.input_tensor(1, 9));
+    }
+
+    #[test]
+    fn output_tensor_of_last_layer_exists() {
+        let n = tiny();
+        let o = n.output_tensor(2, 3);
+        assert_eq!(o.len(), 10);
+    }
+
+    #[test]
+    fn scaled_down_shrinks_geometry() {
+        let n = tiny().scaled_down(2);
+        assert_eq!(n.layers()[0].kind().input_count(), 8 * 8);
+        assert!(n.total_macs() < tiny().total_macs());
+        assert!(n.name().contains("@1/2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_rejected() {
+        let _ = Network::new("none", vec![]);
+    }
+}

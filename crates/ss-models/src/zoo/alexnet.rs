@@ -1,0 +1,98 @@
+//! AlexNet (Krizhevsky et al., 2012) and its energy-aware-pruned variants
+//! AlexNet-S (Yang et al., CVPR 2017) and AlexNet-S2 (Park et al.,
+//! ICLR 2017 direct sparse convolutions).
+
+use crate::layer::{conv, conv_g, fc};
+use crate::{Layer, LayerStats, Network};
+
+/// Per-layer effective activation widths from the paper's Table 1.
+const ACT_W: [f64; 8] = [6.52, 4.7, 3.48, 3.23, 2.68, 2.19, 2.59, 2.35];
+/// Per-layer effective weight widths from the paper's Table 1.
+const WGT_W: [f64; 8] = [4.16, 4.69, 3.49, 4.5, 4.6, 3.55, 3.2, 3.73];
+
+/// Activation sparsity: the input image is dense; inner layers see
+/// ReLU-induced zeros.
+const ACT_SP: [f64; 8] = [0.0, 0.45, 0.55, 0.6, 0.6, 0.55, 0.7, 0.7];
+
+fn layers(wgt_sparsity: &[f64; 8]) -> Vec<Layer> {
+    let s = |i: usize| LayerStats::new(ACT_W[i], WGT_W[i], ACT_SP[i], wgt_sparsity[i]);
+    vec![
+        conv("conv1", 96, 3, 11, 227, 55, s(0)),
+        conv_g("conv2", 256, 96, 5, 27, 27, 2, s(1)),
+        conv("conv3", 384, 256, 3, 13, 13, s(2)),
+        conv_g("conv4", 384, 384, 3, 13, 13, 2, s(3)),
+        conv_g("conv5", 256, 384, 3, 13, 13, 2, s(4)),
+        fc("fc6", 256 * 6 * 6, 4096, s(5)),
+        fc("fc7", 4096, 4096, s(6)),
+        fc("fc8", 4096, 1000, s(7)),
+    ]
+}
+
+/// Dense weights.
+const DENSE: [f64; 8] = [0.0; 8];
+/// Energy-aware pruning (Yang et al.): conv layers ~60%, FC ~90% zeros.
+const PRUNED_S: [f64; 8] = [0.16, 0.62, 0.65, 0.63, 0.63, 0.91, 0.91, 0.75];
+/// Guided pruning (Park et al.): slightly denser convs, sparser FCs.
+const PRUNED_S2: [f64; 8] = [0.2, 0.55, 0.6, 0.6, 0.6, 0.93, 0.93, 0.8];
+
+/// Dense AlexNet (int16 master).
+#[must_use]
+pub fn alexnet() -> Network {
+    Network::new("AlexNet", layers(&DENSE))
+}
+
+/// Pruned AlexNet-S.
+#[must_use]
+pub fn alexnet_s() -> Network {
+    Network::new("AlexNet-S", layers(&PRUNED_S))
+}
+
+/// Pruned AlexNet-S2.
+#[must_use]
+pub fn alexnet_s2() -> Network {
+    Network::new("AlexNet-S2", layers(&PRUNED_S2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_parameter_counts() {
+        let n = alexnet();
+        // Grouped AlexNet: ~61M parameters (conv 2.3M + fc 58.6M).
+        let total = n.total_weights();
+        assert!(
+            (60_000_000..63_000_000).contains(&total),
+            "total weights {total}"
+        );
+        // fc6 dominates with 37.7M.
+        assert_eq!(n.layers()[5].weight_count(), 9216 * 4096);
+    }
+
+    #[test]
+    fn published_mac_count() {
+        // Grouped AlexNet forward pass: ~0.72 GMACs.
+        let m = alexnet().total_macs();
+        assert!((650_000_000..760_000_000).contains(&m), "macs {m}");
+    }
+
+    #[test]
+    fn sparse_variants_share_geometry() {
+        let d = alexnet();
+        let s = alexnet_s();
+        assert_eq!(d.total_weights(), s.total_weights());
+        assert_eq!(d.total_macs(), s.total_macs());
+        assert!(s.layers()[5].stats().wgt_sparsity > 0.9);
+    }
+
+    #[test]
+    fn activation_chaining_is_consistent() {
+        // conv3 -> conv4 -> conv5 run at the same spatial size: counts chain.
+        let n = alexnet();
+        assert_eq!(n.layers()[2].output_count(), n.layers()[3].input_count());
+        assert_eq!(n.layers()[3].output_count(), n.layers()[4].input_count());
+        // conv5 output pools down into fc6's input.
+        assert_eq!(n.layers()[5].input_count(), 9216);
+    }
+}

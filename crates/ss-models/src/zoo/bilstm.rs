@@ -1,0 +1,67 @@
+//! Bi-directional LSTM image captioning (Wang et al., ACM MM 2016),
+//! evaluated on Flickr8k in the paper.
+//!
+//! The memory-bound counterpoint to SegNet: nearly all traffic is weights
+//! streaming through LSTM and FC layers, which is why "BiLSTM benefits the
+//! most … ShapeShifter memory compression working particularly well for the
+//! fully-connected and LSTM layers which are memory-bound" (§5.2).
+
+use crate::layer::{fc, lstm};
+use crate::{LayerStats, Network};
+
+/// Caption length the LSTMs are unrolled over.
+const STEPS: usize = 20;
+/// Hidden state size per direction.
+const HIDDEN: usize = 512;
+/// Flickr8k vocabulary size.
+const VOCAB: usize = 2538;
+
+/// Bi-directional LSTM captioner: visual feature projection, forward and
+/// backward LSTMs, and the vocabulary classifier.
+#[must_use]
+pub fn bilstm() -> Network {
+    // Representative width targets: LSTM state values are mid-width with
+    // moderate sparsity (tanh/sigmoid gating); weights behave like FC
+    // weights in Table 1 (~3.5 effective bits).
+    let s = |act: f64, wgt: f64| LayerStats::new(act, wgt, 0.35, 0.0);
+    Network::new(
+        "BiLSTM",
+        vec![
+            fc("embed", 4096, HIDDEN, s(4.5, 3.8)),
+            lstm("lstm_fwd", HIDDEN, HIDDEN, STEPS, s(4.2, 3.6)),
+            lstm("lstm_bwd", HIDDEN, HIDDEN, STEPS, s(4.2, 3.6)),
+            fc("predict", 2 * HIDDEN, VOCAB, s(3.8, 3.4)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_memory_bound_shaped() {
+        // Every MAC touches a distinct weight at batch 1 apart from LSTM
+        // step reuse: MACs per weight == unroll depth for the LSTMs.
+        let n = bilstm();
+        let macs_per_weight = n.total_macs() as f64 / n.total_weights() as f64;
+        assert!(
+            macs_per_weight < STEPS as f64,
+            "macs/weight {macs_per_weight} should be far below conv nets"
+        );
+    }
+
+    #[test]
+    fn lstm_weight_count() {
+        let n = bilstm();
+        // 4 gates x hidden x (input + hidden).
+        assert_eq!(n.layers()[1].weight_count(), 4 * HIDDEN * (2 * HIDDEN));
+    }
+
+    #[test]
+    fn every_layer_is_weight_dominated() {
+        for l in bilstm().layers() {
+            assert!(l.kind().is_weight_dominated(), "{}", l.name());
+        }
+    }
+}

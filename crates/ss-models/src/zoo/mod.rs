@@ -1,0 +1,160 @@
+//! The network zoo: every model of the paper's Table 2, with published
+//! layer geometries and per-layer width targets from the paper's Table 1.
+//!
+//! All networks are int16 masters (see [`crate::Network`]); the int8
+//! variants of the paper are derived via `ss-quant`.
+//!
+//! | Constructor | Paper model | Table-1 widths |
+//! |---|---|---|
+//! | [`alexnet`] | AlexNet | exact |
+//! | [`alexnet_s`], [`alexnet_s2`] | pruned AlexNet-S/S2 | AlexNet's |
+//! | [`googlenet`] | GoogLeNet | exact |
+//! | [`googlenet_s`], [`googlenet_s2`] | pruned GoogLeNet-S/S2 | GoogLeNet's |
+//! | [`vgg_m`], [`vgg_s`] | VGG_M / VGG_S | exact |
+//! | [`resnet50`], [`resnet50_s`] | ResNet50 (+ pruned) | exact |
+//! | [`yolo`] | YOLOv2 | exact |
+//! | [`mobilenet`] | MobileNet v1 | exact |
+//! | [`mobilenet_v2`] | MobileNet-V2 (Fig. 16) | representative |
+//! | [`segnet`] | SegNet (CamVid) | representative |
+//! | [`bilstm`] | Bi-directional LSTM captioning | representative |
+
+mod alexnet;
+mod bilstm;
+mod googlenet;
+mod imaging;
+mod mobilenet;
+mod resnet;
+mod segnet;
+mod sequence;
+mod vgg;
+mod yolo;
+
+pub use alexnet::{alexnet, alexnet_s, alexnet_s2};
+pub use bilstm::bilstm;
+pub use googlenet::{googlenet, googlenet_s, googlenet_s2};
+pub use imaging::{fcn8, ircnn, vdsr};
+pub use mobilenet::{mobilenet, mobilenet_v2};
+pub use resnet::{resnet50, resnet50_s};
+pub use segnet::segnet;
+pub use sequence::{lrcn, seq2seq, squeezenet};
+pub use vgg::{vgg_m, vgg_s};
+pub use yolo::yolo;
+
+use crate::Network;
+
+/// The 16-bit model suite of the paper's Table 2 / Figure 8a.
+#[must_use]
+pub fn int16_suite() -> Vec<Network> {
+    vec![
+        alexnet(),
+        alexnet_s(),
+        alexnet_s2(),
+        googlenet_s(),
+        googlenet_s2(),
+        vgg_m(),
+        vgg_s(),
+        resnet50(),
+        resnet50_s(),
+        yolo(),
+        mobilenet(),
+    ]
+}
+
+/// Base networks of the TensorFlow-quantized 8-bit suite.
+#[must_use]
+pub fn tf8_suite() -> Vec<Network> {
+    vec![alexnet_s(), googlenet_s(), resnet50_s(), mobilenet()]
+}
+
+/// Base networks of the Range-Aware-quantized 8-bit suite.
+#[must_use]
+pub fn ra8_suite() -> Vec<Network> {
+    vec![alexnet_s(), googlenet_s(), bilstm(), segnet()]
+}
+
+/// Pruned 16-bit networks used in the SCNN comparison (Figure 10).
+#[must_use]
+pub fn scnn_suite() -> Vec<Network> {
+    vec![alexnet_s(), alexnet_s2(), googlenet_s2(), resnet50_s()]
+}
+
+/// Networks quantized with the outlier-aware method in Figure 16:
+/// pruned ResNet50 (4b common values) and dense MobileNet-V2 (5b).
+#[must_use]
+pub fn outlier_suite() -> Vec<Network> {
+    vec![resnet50_s(), mobilenet_v2()]
+}
+
+/// Non-classification workloads of Figure 4 that cannot be profiled in
+/// deployment (per-pixel prediction, translation, captioning).
+#[must_use]
+pub fn fig4_extras() -> Vec<Network> {
+    vec![fcn8(), vdsr(), ircnn(), seq2seq(), lrcn(), squeezenet()]
+}
+
+/// Every distinct network in the zoo.
+#[must_use]
+pub fn all() -> Vec<Network> {
+    vec![
+        alexnet(),
+        alexnet_s(),
+        alexnet_s2(),
+        googlenet(),
+        googlenet_s(),
+        googlenet_s2(),
+        vgg_m(),
+        vgg_s(),
+        resnet50(),
+        resnet50_s(),
+        yolo(),
+        mobilenet(),
+        mobilenet_v2(),
+        segnet(),
+        bilstm(),
+        fcn8(),
+        vdsr(),
+        ircnn(),
+        seq2seq(),
+        lrcn(),
+        squeezenet(),
+    ]
+}
+
+/// Looks a network up by its display name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Network> {
+    all().into_iter().find(|n| n.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_are_nonempty_and_named() {
+        for net in all() {
+            assert!(!net.layers().is_empty(), "{} has layers", net.name());
+            assert!(net.total_macs() > 0);
+        }
+        assert_eq!(int16_suite().len(), 11);
+        assert_eq!(tf8_suite().len(), 4);
+        assert_eq!(ra8_suite().len(), 4);
+        assert_eq!(outlier_suite().len(), 2);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("AlexNet").is_some());
+        assert!(by_name("SegNet").is_some());
+        assert!(by_name("NoSuchNet").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|n| n.name().to_string()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

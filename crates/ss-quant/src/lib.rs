@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Quantizers and per-layer width profiling for the ShapeShifter
+//! reproduction.
+//!
+//! The paper's second contribution is the observation that popular
+//! quantization methods, while they "squeeze" wide value ranges into a
+//! short container, also **expand** narrow ranges to fill the container —
+//! destroying the per-group width-reduction opportunity (paper §1, §2 "8b
+//! Quantization", Figure 3). This crate implements the three quantization
+//! families the evaluation uses, all derived from the int16 master models
+//! of `ss-models`:
+//!
+//! * [`TfQuantizer`] — TensorFlow-style asymmetric affine quantization. Its
+//!   non-zero zero-point relocates near-zero values to the middle of the
+//!   8-bit range, so even tiny values need 6–8 stored bits.
+//! * [`RangeAwareQuantizer`] — power-of-two rescaling that keeps zero at
+//!   zero and small values small, preserving the group-width opportunity.
+//! * [`OutlierAwareQuantizer`] — Park et al.'s two-width scheme: 97–99% of
+//!   values in 4–5 bits, rare outliers at full width (used in Figure 16).
+//!
+//! [`QuantizedNetwork`] wraps a zoo [`ss_models::Network`] with a method so
+//! the rest of the pipeline can consume 8-bit models through the same
+//! tensor API as the 16-bit masters. [`profile`] provides the per-layer
+//! profiled widths used by the "Profile" compression baseline and by the
+//! original Stripes.
+
+mod error;
+mod outlier;
+pub mod profile;
+mod quantized;
+mod range_aware;
+mod tf;
+
+pub use error::QuantError;
+pub use outlier::{OutlierAwareQuantizer, OutlierQuantized};
+pub use quantized::{QuantMethod, QuantizedNetwork};
+pub use range_aware::RangeAwareQuantizer;
+pub use tf::TfQuantizer;

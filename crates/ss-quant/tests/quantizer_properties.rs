@@ -1,0 +1,117 @@
+//! Property tests on the quantizers: order preservation, bounded
+//! round-trip error, and the structural difference between the affine
+//! (TF) and power-of-two (RA) schemes that Figure 3 visualizes.
+
+use proptest::prelude::*;
+use ss_quant::{OutlierAwareQuantizer, RangeAwareQuantizer, TfQuantizer};
+use ss_tensor::{FixedType, Shape, Tensor};
+
+fn i16_tensor() -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-32767i32..=32767, 1..300).prop_map(|v| {
+        Tensor::from_vec(Shape::flat(v.len()), FixedType::I16, v).expect("values fit i16")
+    })
+}
+
+fn u16_tensor() -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(0i32..=65535, 1..300).prop_map(|v| {
+        Tensor::from_vec(Shape::flat(v.len()), FixedType::U16, v).expect("values fit u16")
+    })
+}
+
+proptest! {
+    #[test]
+    fn tf_is_order_preserving(t in i16_tensor(), asym in 0.0f64..=1.0) {
+        let q = TfQuantizer::new(asym).unwrap();
+        let out = q.quantize(&t, 32_767).unwrap();
+        let mut pairs: Vec<(i32, i32)> =
+            t.values().iter().copied().zip(out.values().iter().copied()).collect();
+        pairs.sort_by_key(|p| p.0);
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1, "{:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn tf_roundtrip_error_is_bounded_by_half_a_step(t in i16_tensor(), asym in 0.1f64..=1.0) {
+        let cal_max = 32_767i32;
+        let q = TfQuantizer::new(asym).unwrap();
+        let out = q.quantize(&t, cal_max).unwrap();
+        let scale = (f64::from(cal_max) * (1.0 + asym)) / 255.0;
+        let zp = f64::from(q.zero_point());
+        for (&v, &s) in t.values().iter().zip(out.values()) {
+            // Values inside the calibration range dequantize to within
+            // one step (rounding) of the original.
+            let lo = -asym * f64::from(cal_max);
+            if f64::from(v) >= lo && v <= cal_max && s > 0 && s < 255 {
+                let deq = (f64::from(s) - zp) * scale;
+                prop_assert!(
+                    (deq - f64::from(v)).abs() <= scale,
+                    "v {v} stored {s} dequantizes to {deq}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ra_preserves_zero_sign_and_order(t in u16_tensor(), profile in 8u8..=16) {
+        let q = RangeAwareQuantizer::new(8).unwrap();
+        let out = q.quantize(&t, profile).unwrap();
+        for (&v, &s) in t.values().iter().zip(out.values()) {
+            if v == 0 {
+                prop_assert_eq!(s, 0, "zeros map to zero");
+            }
+            prop_assert!(s >= 0);
+        }
+        let mut pairs: Vec<(i32, i32)> =
+            t.values().iter().copied().zip(out.values().iter().copied()).collect();
+        pairs.sort_by_key(|p| p.0);
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn ra_roundtrip_error_is_bounded(t in u16_tensor()) {
+        let q = RangeAwareQuantizer::new(8).unwrap();
+        let profile = t.profiled_width();
+        let shift = u32::from(q.shift_for(profile));
+        let out = q.quantize(&t, profile).unwrap();
+        for (&v, &s) in t.values().iter().zip(out.values()) {
+            if s < 255 {
+                // Not saturated: dequantization lands within half a step.
+                let deq = i64::from(s) << shift;
+                let err = (deq - i64::from(v)).abs();
+                prop_assert!(err <= 1 << shift.max(1) >> 1, "v {v} -> {s} (shift {shift})");
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_counts_are_capped(t in i16_tensor(), bits in 2u8..=8) {
+        let q = OutlierAwareQuantizer::new(bits, 0.01).unwrap();
+        let oq = q.quantize(&t).unwrap();
+        let nonzero = t.values().iter().filter(|&&v| v != 0).count();
+        // The top-k rule: round(nonzero * f) outliers, at least one when
+        // any non-zero value exists.
+        let expect = ((nonzero as f64) * 0.01).round().max(1.0) as usize;
+        if nonzero > 0 {
+            prop_assert_eq!(oq.outlier_count(), expect.min(nonzero));
+        } else {
+            prop_assert_eq!(oq.outlier_count(), 0);
+        }
+    }
+
+    #[test]
+    fn outlier_common_values_fit_their_container(t in i16_tensor(), bits in 2u8..=8) {
+        let q = OutlierAwareQuantizer::new(bits, 0.05).unwrap();
+        let oq = q.quantize(&t).unwrap();
+        let max_common = (1i32 << (bits - 1)) - 1;
+        let mut outliers_seen = 0;
+        for &v in oq.tensor().values() {
+            if v.abs() > max_common {
+                outliers_seen += 1;
+            }
+        }
+        prop_assert!(outliers_seen <= oq.outlier_count());
+    }
+}

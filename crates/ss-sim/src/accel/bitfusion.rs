@@ -1,0 +1,122 @@
+//! Bit Fusion (Sharma et al., ISCA 2018) — the spatial-first comparison
+//! point of §5.2.1 and Figure 14.
+
+use crate::accel::{pow2_precision, Accelerator, LayerSignals};
+use crate::energy::EnergyModel;
+
+/// Bit Fusion: a systolic array of bit-level "BitBrick" PEs that fuse
+/// spatially to match the layer's precision. It "natively supports per
+/// layer precisions of 8, 4, and 2 bits for both weights and activations"
+/// and handles 16-bit values "by decomposing them into 8b multiplications
+/// which it performs sequentially in time" (§5.1.2).
+///
+/// Throughput scales as `(8/Pa)·(8/Pw)` around an 8b×8b peak; 16-bit
+/// operands halve the rate per operand (the 2× temporal decomposition per
+/// 16-bit side). Precisions are per-layer, profile-derived, rounded up to
+/// the supported power-of-two levels — Bit Fusion "as presented cannot
+/// adapt to precisions at a fine granularity" (§4), which is exactly what
+/// Figure 14 measures against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitFusion {
+    peak_8x8: u64,
+}
+
+impl BitFusion {
+    /// The iso-area configuration used for Figure 14: an 8b×8b peak of
+    /// 8192 MACs/cycle (the fused array doubles DaDianNao's 16b peak when
+    /// operands halve).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { peak_8x8: 8192 }
+    }
+
+    /// A custom 8b×8b peak.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_8x8 == 0`.
+    #[must_use]
+    pub fn with_peak(peak_8x8: u64) -> Self {
+        assert!(peak_8x8 > 0, "peak must be non-zero");
+        Self { peak_8x8 }
+    }
+
+    /// MACs per cycle for the given per-layer profiled precisions.
+    #[must_use]
+    pub fn rate(&self, act_profiled: u8, wgt_profiled: u8) -> f64 {
+        let pa = f64::from(pow2_precision(act_profiled));
+        let pw = f64::from(pow2_precision(wgt_profiled));
+        self.peak_8x8 as f64 * (8.0 / pa) * (8.0 / pw)
+    }
+}
+
+impl Default for BitFusion {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Accelerator for BitFusion {
+    fn name(&self) -> &str {
+        "Bit Fusion"
+    }
+
+    fn compute_cycles(&self, sig: &LayerSignals) -> u64 {
+        (sig.macs as f64 / self.rate(sig.act_profiled, sig.wgt_profiled)).ceil() as u64
+    }
+
+    fn compute_energy_pj(&self, sig: &LayerSignals, em: &EnergyModel) -> f64 {
+        let pa = f64::from(pow2_precision(sig.act_profiled));
+        let pw = f64::from(pow2_precision(sig.wgt_profiled));
+        sig.macs as f64 * em.mac16_pj * (pa * pw) / 256.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::tests::conv16;
+
+    #[test]
+    fn rate_scales_with_fused_precision() {
+        let bf = BitFusion::new();
+        assert_eq!(bf.rate(8, 8), 8192.0);
+        assert_eq!(bf.rate(4, 8), 16384.0);
+        assert_eq!(bf.rate(2, 2), 131_072.0);
+        // 16b x 16b: 4 sequential 8b x 8b products.
+        assert_eq!(bf.rate(16, 16), 2048.0);
+    }
+
+    #[test]
+    fn precisions_round_up_to_pow2() {
+        let bf = BitFusion::new();
+        // A 5-bit profile still pays the 8-bit rate.
+        assert_eq!(bf.rate(5, 5), bf.rate(8, 8));
+        assert_eq!(bf.rate(3, 3), bf.rate(4, 4));
+        // 9-bit weights fall off the spatial cliff to 16.
+        assert_eq!(bf.rate(8, 9), bf.rate(8, 16));
+    }
+
+    #[test]
+    fn sixteen_bit_layers_are_4x_slower_than_8b() {
+        let bf = BitFusion::new();
+        let mut s = conv16();
+        s.act_profiled = 16;
+        s.wgt_profiled = 16;
+        let c16 = bf.compute_cycles(&s);
+        s.act_profiled = 8;
+        s.wgt_profiled = 8;
+        let c8 = bf.compute_cycles(&s);
+        assert_eq!(c16, 4 * c8);
+    }
+
+    #[test]
+    fn dynamic_widths_do_not_matter() {
+        // The spatial-first design reconfigures per layer, not per group.
+        let bf = BitFusion::new();
+        let mut s = conv16();
+        let base = bf.compute_cycles(&s);
+        s.act_eff_sync = 1.0;
+        assert_eq!(bf.compute_cycles(&s), base);
+    }
+}

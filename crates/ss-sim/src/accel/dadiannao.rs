@@ -1,0 +1,95 @@
+//! `DaDianNao*` — the bit-parallel baseline of §5.1.1.
+
+use crate::accel::{Accelerator, LayerSignals};
+use crate::energy::EnergyModel;
+
+/// A DaDianNao-class bit-parallel accelerator: 16 tiles of 256 MAC units,
+/// 4096 MACs per cycle regardless of value content. It benefits from
+/// ShapeShifter only through memory compression — the configuration of
+/// Figure 9a/9b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DaDianNao {
+    macs_per_cycle: u64,
+}
+
+impl DaDianNao {
+    /// The paper's 4K-MAC/cycle configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            macs_per_cycle: 4096,
+        }
+    }
+
+    /// A custom peak (for scaling studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macs_per_cycle == 0`.
+    #[must_use]
+    pub fn with_peak(macs_per_cycle: u64) -> Self {
+        assert!(macs_per_cycle > 0, "peak must be non-zero");
+        Self { macs_per_cycle }
+    }
+}
+
+impl Default for DaDianNao {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Accelerator for DaDianNao {
+    fn name(&self) -> &str {
+        "DaDianNao*"
+    }
+
+    fn compute_cycles(&self, sig: &LayerSignals) -> u64 {
+        sig.macs.div_ceil(self.macs_per_cycle)
+    }
+
+    fn compute_energy_pj(&self, sig: &LayerSignals, em: &EnergyModel) -> f64 {
+        // A bit-parallel MAC's energy scales with the product of operand
+        // widths; the 16x16 constant anchors the scale.
+        let scale = f64::from(sig.act_container) * f64::from(sig.wgt_container) / 256.0;
+        sig.macs as f64 * em.mac16_pj * scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::tests::conv16;
+
+    #[test]
+    fn cycles_ignore_value_content() {
+        let d = DaDianNao::new();
+        let mut s = conv16();
+        let base = d.compute_cycles(&s);
+        assert_eq!(base, 1000);
+        s.act_eff_sync = 1.0;
+        s.act_profiled = 2;
+        assert_eq!(d.compute_cycles(&s), base, "widths must not matter");
+    }
+
+    #[test]
+    fn energy_scales_with_container_product() {
+        let d = DaDianNao::new();
+        let em = EnergyModel::default();
+        let s16 = conv16();
+        let mut s8 = conv16();
+        s8.act_container = 8;
+        s8.wgt_container = 8;
+        let e16 = d.compute_energy_pj(&s16, &em);
+        let e8 = d.compute_energy_pj(&s8, &em);
+        assert!((e16 / e8 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rounding_up() {
+        let d = DaDianNao::with_peak(4096);
+        let mut s = conv16();
+        s.macs = 4097;
+        assert_eq!(d.compute_cycles(&s), 2);
+    }
+}

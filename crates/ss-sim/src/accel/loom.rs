@@ -1,0 +1,123 @@
+//! Loom (Sharify et al., DAC 2018) — bit-serial in *both* operands
+//! (§5.3).
+
+use crate::accel::{Accelerator, LayerSignals};
+use crate::energy::EnergyModel;
+
+/// Loom: processes activation bits and weight bits serially, so a layer at
+/// activation width `Pa` and weight width `Pw` takes `Pa × Pw` bit-steps
+/// per MAC group — throughput scales as `256 / (Pa·Pw)` around the same
+/// worst-case 4K-MAC/cycle peak as the other bit-serial designs.
+///
+/// The baseline uses per-layer profiled widths for both operands;
+/// [`Loom::with_shapeshifter`] applies per-group dynamic widths to both —
+/// the "ShapeShifter Loom" of §5.3 (16-bit SIPs, no composition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Loom {
+    dynamic: bool,
+}
+
+/// Bit-step lanes: the same 65536 serial lanes as Stripes, each now
+/// needing `Pa × Pw / 16` steps per 16-bit-equivalent MAC.
+const BIT_LANES: u64 = 16 * 256 * 16 * 16;
+
+impl Loom {
+    /// Baseline Loom with per-layer profiled widths.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { dynamic: false }
+    }
+
+    /// ShapeShifter-Loom: per-group dynamic widths for weights and
+    /// activations.
+    #[must_use]
+    pub fn with_shapeshifter() -> Self {
+        Self { dynamic: true }
+    }
+
+    /// Whether per-group dynamic widths are in use.
+    #[must_use]
+    pub fn is_dynamic(&self) -> bool {
+        self.dynamic
+    }
+
+    fn widths(&self, sig: &LayerSignals) -> (f64, f64) {
+        if self.dynamic {
+            (sig.act_eff_clamped(), sig.wgt_eff_clamped())
+        } else {
+            (
+                f64::from(sig.act_profiled.max(1)),
+                f64::from(sig.wgt_profiled.max(1)),
+            )
+        }
+    }
+}
+
+impl Default for Loom {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Accelerator for Loom {
+    fn name(&self) -> &str {
+        if self.dynamic {
+            "SS-Loom"
+        } else {
+            "Loom"
+        }
+    }
+
+    fn compute_cycles(&self, sig: &LayerSignals) -> u64 {
+        let (pa, pw) = self.widths(sig);
+        (sig.macs as f64 * pa * pw / BIT_LANES as f64).ceil() as u64
+    }
+
+    fn compute_energy_pj(&self, sig: &LayerSignals, em: &EnergyModel) -> f64 {
+        let (pa, pw) = self.widths(sig);
+        // Energy per MAC scales with total bit-steps, normalized so a
+        // 16x16 serial MAC costs the same as Stripes' 16-step one.
+        sig.macs as f64 * (pa * pw / 16.0) * em.serial_bit_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::tests::conv16;
+
+    #[test]
+    fn worst_case_matches_the_4k_peak() {
+        let l = Loom::new();
+        let mut sig = conv16();
+        sig.act_profiled = 16;
+        sig.wgt_profiled = 16;
+        assert_eq!(l.compute_cycles(&sig), sig.macs.div_ceil(4096));
+    }
+
+    #[test]
+    fn both_operand_widths_multiply() {
+        let l = Loom::new();
+        let mut sig = conv16();
+        sig.act_profiled = 8;
+        sig.wgt_profiled = 8;
+        let c88 = l.compute_cycles(&sig);
+        sig.wgt_profiled = 4;
+        let c84 = l.compute_cycles(&sig);
+        assert_eq!(c88, 2 * c84);
+    }
+
+    #[test]
+    fn shapeshifter_variant_uses_group_widths() {
+        let base = Loom::new();
+        let ss = Loom::with_shapeshifter();
+        let sig = conv16(); // eff 5.0 x 5.5 vs profiled 10 x 9
+        let speedup = base.compute_cycles(&sig) as f64 / ss.compute_cycles(&sig) as f64;
+        let expect = (10.0 * 9.0) / (5.0 * 5.5);
+        assert!(
+            (speedup - expect).abs() / expect < 0.02,
+            "speedup {speedup} vs {expect}"
+        );
+        assert_eq!(ss.name(), "SS-Loom");
+    }
+}

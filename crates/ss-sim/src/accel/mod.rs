@@ -1,0 +1,151 @@
+//! The simulated accelerators and their analytic throughput laws.
+//!
+//! Every design is normalized to the paper's methodology: a 1 GHz clock
+//! and a worst-case peak of 4K 16-bit MACs per cycle for the
+//! Stripes-class designs (§5.2: "16 tiles each containing 256 serial
+//! processing units whose worst-case peak compute bandwidth is 4K
+//! multiplications per cycle").
+//!
+//! | Design | Law (cycles for a layer of `M` MACs) |
+//! |---|---|
+//! | DaDianNao* | `M / 4096` |
+//! | Stripes | `M · P_layer / 65536` (activation bits in time) |
+//! | SStripes | `M · P_group / lanes`, lanes 1.75× via 8b SIPs + Composer |
+//! | Bit Fusion | `M / (8192 · (8/Pa₂) · (8/Pw₂))`, precisions pow-2 |
+//! | SCNN | `M · nzA · nzW / (1024 · u)` (non-zero products only) |
+//! | Loom | `M · Pa · Pw / 2²⁰` (both operands' bits in time) |
+
+mod bitfusion;
+mod dadiannao;
+mod loom;
+mod scnn;
+mod sstripes;
+mod stripes;
+mod tartan;
+
+pub use bitfusion::BitFusion;
+pub use dadiannao::DaDianNao;
+pub use loom::Loom;
+pub use scnn::Scnn;
+pub use sstripes::SStripes;
+pub use stripes::Stripes;
+pub use tartan::Tartan;
+
+use crate::energy::EnergyModel;
+
+/// Per-layer signals an accelerator's throughput law consumes, computed
+/// once by the simulation driver from the layer's actual tensors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerSignals {
+    /// Multiply-accumulate count.
+    pub macs: u64,
+    /// Activation container width (bits).
+    pub act_container: u8,
+    /// Weight container width (bits).
+    pub wgt_container: u8,
+    /// Per-layer profile-derived activation width (what Stripes and Bit
+    /// Fusion provision for).
+    pub act_profiled: u8,
+    /// Per-layer profile-derived weight width.
+    pub wgt_profiled: u8,
+    /// Effective per-group activation width at the SIP-array
+    /// synchronization granularity (256 concurrently-broadcast values:
+    /// 16 window groups of 16 advance in lockstep, so the step takes the
+    /// worst group's width).
+    pub act_eff_sync: f64,
+    /// Effective per-group weight width at the same granularity (for
+    /// designs serializing weight bits, §5.3).
+    pub wgt_eff_sync: f64,
+    /// Fraction of non-zero activations.
+    pub act_nonzero: f64,
+    /// Fraction of non-zero weights.
+    pub wgt_nonzero: f64,
+    /// MACs per weight (output-plane size for convolutions, 1 for FC,
+    /// the unroll depth for LSTMs) — distinguishes weight-reusing from
+    /// weight-streaming layers.
+    pub weight_reuse: u64,
+}
+
+impl LayerSignals {
+    /// The activation width a dynamic per-group design pays per step —
+    /// never below one cycle per group (the EOG handshake).
+    #[must_use]
+    pub fn act_eff_clamped(&self) -> f64 {
+        self.act_eff_sync.max(1.0)
+    }
+
+    /// The weight width a dynamic per-group design pays per step.
+    #[must_use]
+    pub fn wgt_eff_clamped(&self) -> f64 {
+        self.wgt_eff_sync.max(1.0)
+    }
+}
+
+/// An accelerator: a compute-throughput and compute-energy law.
+///
+/// Memory behaviour is shared across designs and handled by the driver in
+/// [`crate::sim`]; accelerators only answer "how many cycles and how much
+/// datapath energy does this layer's arithmetic cost".
+pub trait Accelerator {
+    /// Display name used in figures.
+    fn name(&self) -> &str;
+
+    /// Datapath cycles for one layer.
+    fn compute_cycles(&self, sig: &LayerSignals) -> u64;
+
+    /// Datapath energy for one layer in picojoules.
+    fn compute_energy_pj(&self, sig: &LayerSignals, em: &EnergyModel) -> f64;
+}
+
+/// Rounds a profiled precision up to Bit Fusion's supported power-of-two
+/// levels (2, 4, 8, 16).
+#[must_use]
+pub fn pow2_precision(bits: u8) -> u8 {
+    match bits {
+        0..=2 => 2,
+        3..=4 => 4,
+        5..=8 => 8,
+        _ => 16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A representative 16-bit conv layer signal set for law tests.
+    pub(crate) fn conv16() -> LayerSignals {
+        LayerSignals {
+            macs: 4_096_000,
+            act_container: 16,
+            wgt_container: 16,
+            act_profiled: 10,
+            wgt_profiled: 9,
+            act_eff_sync: 5.0,
+            wgt_eff_sync: 5.5,
+            act_nonzero: 0.5,
+            wgt_nonzero: 1.0,
+            weight_reuse: 1000,
+        }
+    }
+
+    #[test]
+    fn pow2_levels() {
+        assert_eq!(pow2_precision(1), 2);
+        assert_eq!(pow2_precision(2), 2);
+        assert_eq!(pow2_precision(3), 4);
+        assert_eq!(pow2_precision(5), 8);
+        assert_eq!(pow2_precision(8), 8);
+        assert_eq!(pow2_precision(9), 16);
+        assert_eq!(pow2_precision(16), 16);
+    }
+
+    #[test]
+    fn eff_clamps_at_one_cycle_per_group() {
+        let mut s = conv16();
+        s.act_eff_sync = 0.2;
+        assert_eq!(s.act_eff_clamped(), 1.0);
+        s.act_eff_sync = 3.7;
+        assert_eq!(s.act_eff_clamped(), 3.7);
+    }
+}

@@ -1,0 +1,113 @@
+//! SCNN (Parashar et al., ISCA 2017) — the sparse accelerator of §5.1.3.
+
+use crate::accel::{Accelerator, LayerSignals};
+use crate::energy::EnergyModel;
+
+/// SCNN: computes only non-zero × non-zero products. 64 processing
+/// elements with a 4×4 multiplier array each give a 1024-multiply/cycle
+/// peak; a utilization factor models the crossbar and accumulator-bank
+/// contention the full design pays on real layers.
+///
+/// SCNN "targets pruned models"; its native off-chip format is the
+/// run-length zero encoding that Figure 10 compares against ShapeShifter
+/// compression (the codec choice lives in the driver — compute is
+/// identical under both).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scnn {
+    multipliers: u64,
+    utilization: f64,
+}
+
+impl Scnn {
+    /// The published configuration: 64 PEs × 16 multipliers at ~75%
+    /// sustained utilization.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            multipliers: 1024,
+            utilization: 0.75,
+        }
+    }
+
+    /// Custom configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multipliers == 0` or `utilization` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_config(multipliers: u64, utilization: f64) -> Self {
+        assert!(multipliers > 0, "need at least one multiplier");
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization must be in (0, 1]"
+        );
+        Self {
+            multipliers,
+            utilization,
+        }
+    }
+
+    /// Non-zero products a layer actually performs.
+    #[must_use]
+    pub fn effective_macs(&self, sig: &LayerSignals) -> f64 {
+        sig.macs as f64 * sig.act_nonzero * sig.wgt_nonzero
+    }
+}
+
+impl Default for Scnn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Accelerator for Scnn {
+    fn name(&self) -> &str {
+        "SCNN"
+    }
+
+    fn compute_cycles(&self, sig: &LayerSignals) -> u64 {
+        let rate = self.multipliers as f64 * self.utilization;
+        (self.effective_macs(sig) / rate).ceil() as u64
+    }
+
+    fn compute_energy_pj(&self, sig: &LayerSignals, em: &EnergyModel) -> f64 {
+        self.effective_macs(sig) * em.mac16_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::tests::conv16;
+
+    #[test]
+    fn sparsity_cuts_cycles_multiplicatively() {
+        let s = Scnn::new();
+        let mut sig = conv16();
+        sig.act_nonzero = 1.0;
+        sig.wgt_nonzero = 1.0;
+        let dense = s.compute_cycles(&sig);
+        sig.act_nonzero = 0.5;
+        sig.wgt_nonzero = 0.4;
+        let sparse = s.compute_cycles(&sig);
+        assert!((dense as f64 / sparse as f64 - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn widths_do_not_matter() {
+        let s = Scnn::new();
+        let mut sig = conv16();
+        let base = s.compute_cycles(&sig);
+        sig.act_profiled = 2;
+        sig.act_eff_sync = 1.0;
+        assert_eq!(s.compute_cycles(&sig), base);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        assert!(std::panic::catch_unwind(|| Scnn::with_config(0, 0.5)).is_err());
+        assert!(std::panic::catch_unwind(|| Scnn::with_config(10, 0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| Scnn::with_config(10, 1.1)).is_err());
+        let _ = Scnn::with_config(10, 1.0);
+    }
+}

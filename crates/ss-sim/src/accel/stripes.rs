@@ -1,0 +1,100 @@
+//! Stripes (Judd et al., MICRO 2016) — the activation-bit-serial design
+//! SStripes extends.
+
+use crate::accel::{Accelerator, LayerSignals};
+use crate::energy::EnergyModel;
+
+/// Stripes: 16 tiles × 256 SIPs, each SIP multiply-accumulating 16
+/// (activation, weight) pairs with the activation processed one bit at a
+/// time. A layer profiled to `P` activation bits takes `P` cycles per
+/// group of concurrently-processed activations, so throughput is
+/// `65536 / P` MACs per cycle — 4K at the worst-case 16 bits, matching
+/// the paper's iso-peak normalization.
+///
+/// Per-layer precisions are profile-derived, "as originally proposed".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stripes {
+    lanes: u64,
+}
+
+/// 16 tiles × 256 SIPs × 16 lanes per SIP.
+const PAPER_LANES: u64 = 16 * 256 * 16;
+
+impl Stripes {
+    /// The paper's 16-tile configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { lanes: PAPER_LANES }
+    }
+
+    /// Concurrent MAC lanes (each producing one bit-step per cycle).
+    #[must_use]
+    pub fn lanes(&self) -> u64 {
+        self.lanes
+    }
+}
+
+impl Default for Stripes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Accelerator for Stripes {
+    fn name(&self) -> &str {
+        "Stripes"
+    }
+
+    fn compute_cycles(&self, sig: &LayerSignals) -> u64 {
+        let p = u64::from(sig.act_profiled.max(1));
+        (sig.macs * p).div_ceil(self.lanes)
+    }
+
+    fn compute_energy_pj(&self, sig: &LayerSignals, em: &EnergyModel) -> f64 {
+        sig.macs as f64 * f64::from(sig.act_profiled.max(1)) * em.serial_bit_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::tests::conv16;
+
+    #[test]
+    fn worst_case_matches_dadiannao_peak() {
+        // At 16-bit profiled precision Stripes degenerates to 4K MACs/cyc.
+        let s = Stripes::new();
+        let mut sig = conv16();
+        sig.act_profiled = 16;
+        assert_eq!(s.compute_cycles(&sig), sig.macs.div_ceil(4096));
+    }
+
+    #[test]
+    fn cycles_scale_with_profiled_width() {
+        let s = Stripes::new();
+        let mut sig = conv16();
+        sig.act_profiled = 8;
+        let c8 = s.compute_cycles(&sig);
+        sig.act_profiled = 4;
+        let c4 = s.compute_cycles(&sig);
+        assert_eq!(c8, 2 * c4);
+    }
+
+    #[test]
+    fn dynamic_widths_do_not_matter() {
+        // Original Stripes has no width detector: only the profile counts.
+        let s = Stripes::new();
+        let mut sig = conv16();
+        let base = s.compute_cycles(&sig);
+        sig.act_eff_sync = 1.0;
+        assert_eq!(s.compute_cycles(&sig), base);
+    }
+
+    #[test]
+    fn zero_width_profile_clamps_to_one() {
+        let s = Stripes::new();
+        let mut sig = conv16();
+        sig.act_profiled = 0;
+        assert!(s.compute_cycles(&sig) > 0);
+    }
+}

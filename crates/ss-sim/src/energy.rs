@@ -1,0 +1,105 @@
+//! The energy model: per-operation constants of published magnitude.
+//!
+//! The paper derives power from 65 nm layouts with ModelSim-captured
+//! activity, plus CACTI for SRAMs; every energy figure it reports is
+//! *relative*. This model substitutes per-operation constants in the range
+//! established by the architecture literature (Horowitz ISSCC'14 tutorial
+//! numbers scaled to 65 nm): what the figures compare — DRAM traffic,
+//! serial compute cycles, and stall-idle overhead — are the quantities the
+//! simulators compute exactly, so relative energy is preserved.
+
+/// Per-operation energy constants in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// DRAM transfer energy per bit (interface + DRAM core).
+    pub dram_pj_per_bit: f64,
+    /// Large on-chip SRAM access energy per bit.
+    pub sram_pj_per_bit: f64,
+    /// Bit-parallel 16x16 MAC energy.
+    pub mac16_pj: f64,
+    /// Bit-serial SIP energy per processed activation bit per MAC lane
+    /// (one 1xN multiply-accumulate step).
+    pub serial_bit_pj: f64,
+    /// Idle (leakage + clock) energy per stalled cycle for a whole
+    /// accelerator.
+    pub idle_pj_per_cycle: f64,
+}
+
+impl EnergyModel {
+    /// Constants representative of the paper's 65 nm design point.
+    #[must_use]
+    pub fn default_65nm() -> Self {
+        Self {
+            dram_pj_per_bit: 20.0,
+            sram_pj_per_bit: 1.0,
+            mac16_pj: 4.0,
+            // A 16b MAC done serially over ~16 bits costs slightly more
+            // total than the parallel one (the bit-serial premium).
+            serial_bit_pj: 0.3,
+            idle_pj_per_cycle: 20_000.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::default_65nm()
+    }
+}
+
+/// Energy spent by one layer (or one whole run), by component.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Off-chip transfer energy.
+    pub dram_pj: f64,
+    /// On-chip SRAM movement energy.
+    pub sram_pj: f64,
+    /// Datapath (MAC) energy.
+    pub compute_pj: f64,
+    /// Idle energy burnt while stalled on memory.
+    pub idle_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.dram_pj + self.sram_pj + self.compute_pj + self.idle_pj
+    }
+
+    /// Component-wise accumulation.
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.dram_pj += other.dram_pj;
+        self.sram_pj += other.sram_pj;
+        self.compute_pj += other.compute_pj;
+        self.idle_pj += other.idle_pj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_accumulation() {
+        let mut a = EnergyBreakdown {
+            dram_pj: 1.0,
+            sram_pj: 2.0,
+            compute_pj: 3.0,
+            idle_pj: 4.0,
+        };
+        assert_eq!(a.total_pj(), 10.0);
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.total_pj(), 20.0);
+    }
+
+    #[test]
+    fn dram_dominates_sram_per_bit() {
+        // The premise of the whole paper: "most of their energy
+        // expenditure is due to data transfers", off-chip being the
+        // costliest.
+        let m = EnergyModel::default();
+        assert!(m.dram_pj_per_bit > 10.0 * m.sram_pj_per_bit);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests on the accelerator throughput laws: the monotonicities
+//! every design must respect, over arbitrary layer signal combinations.
+
+use proptest::prelude::*;
+use ss_sim::accel::{
+    Accelerator, BitFusion, DaDianNao, LayerSignals, Loom, SStripes, Scnn, Stripes, Tartan,
+};
+use ss_sim::EnergyModel;
+
+fn arb_signals() -> impl Strategy<Value = LayerSignals> {
+    (
+        1u64..10_000_000,
+        1u8..=16,
+        1u8..=16,
+        0.1f64..16.0,
+        0.1f64..16.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        1u64..100_000,
+    )
+        .prop_map(
+            |(macs, act_p, wgt_p, act_e, wgt_e, act_nz, wgt_nz, reuse)| LayerSignals {
+                macs,
+                act_container: 16,
+                wgt_container: 16,
+                act_profiled: act_p,
+                wgt_profiled: wgt_p,
+                // Effective widths never exceed the profiled width.
+                act_eff_sync: act_e.min(f64::from(act_p)),
+                wgt_eff_sync: wgt_e.min(f64::from(wgt_p)),
+                act_nonzero: act_nz,
+                wgt_nonzero: wgt_nz,
+                weight_reuse: reuse,
+            },
+        )
+}
+
+fn all_accels() -> Vec<Box<dyn Accelerator>> {
+    vec![
+        Box::new(DaDianNao::new()),
+        Box::new(Stripes::new()),
+        Box::new(SStripes::new()),
+        Box::new(SStripes::without_composer()),
+        Box::new(BitFusion::new()),
+        Box::new(Scnn::new()),
+        Box::new(Loom::new()),
+        Box::new(Loom::with_shapeshifter()),
+        Box::new(Tartan::new()),
+        Box::new(Tartan::with_shapeshifter()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cycles_are_monotone_in_macs(sig in arb_signals()) {
+        let mut bigger = sig;
+        bigger.macs = sig.macs.saturating_mul(2);
+        for accel in all_accels() {
+            prop_assert!(
+                accel.compute_cycles(&bigger) >= accel.compute_cycles(&sig),
+                "{}",
+                accel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cycles_and_energy_are_positive(sig in arb_signals()) {
+        let em = EnergyModel::default();
+        for accel in all_accels() {
+            prop_assert!(accel.compute_cycles(&sig) >= 1, "{}", accel.name());
+            prop_assert!(accel.compute_energy_pj(&sig, &em) > 0.0, "{}", accel.name());
+        }
+    }
+
+    #[test]
+    fn serial_designs_are_monotone_in_their_width(sig in arb_signals()) {
+        let mut wider = sig;
+        wider.act_profiled = (sig.act_profiled + 1).min(16);
+        wider.act_eff_sync = (sig.act_eff_sync + 1.0).min(f64::from(wider.act_profiled));
+        prop_assert!(
+            Stripes::new().compute_cycles(&wider) >= Stripes::new().compute_cycles(&sig)
+        );
+        prop_assert!(
+            SStripes::new().compute_cycles(&wider) >= SStripes::new().compute_cycles(&sig)
+        );
+    }
+
+    #[test]
+    fn dynamic_never_loses_to_profiled_widths(sig in arb_signals()) {
+        // eff <= profiled is enforced by construction above; every dynamic
+        // design must therefore be at least as fast as its profiled twin
+        // at equal lane counts.
+        prop_assert!(
+            Loom::with_shapeshifter().compute_cycles(&sig)
+                <= Loom::new().compute_cycles(&sig)
+        );
+        prop_assert!(
+            Tartan::with_shapeshifter().compute_cycles(&sig)
+                <= Tartan::new().compute_cycles(&sig)
+        );
+        prop_assert!(
+            SStripes::without_composer().compute_cycles(&sig)
+                <= Stripes::new().compute_cycles(&sig)
+        );
+    }
+
+    #[test]
+    fn scnn_is_monotone_in_density(sig in arb_signals()) {
+        let mut denser = sig;
+        denser.act_nonzero = (sig.act_nonzero + 0.1).min(1.0);
+        prop_assert!(
+            Scnn::new().compute_cycles(&denser) >= Scnn::new().compute_cycles(&sig)
+        );
+    }
+
+    #[test]
+    fn bitfusion_is_monotone_in_pow2_precision(sig in arb_signals()) {
+        let mut wider = sig;
+        wider.act_profiled = 16;
+        wider.wgt_profiled = 16;
+        let accel = BitFusion::new();
+        prop_assert!(accel.compute_cycles(&wider) >= accel.compute_cycles(&sig));
+    }
+}

@@ -1,0 +1,74 @@
+use crate::TensorError;
+
+/// Iterator over fixed-size value groups along a tensor's innermost
+/// dimension.
+///
+/// ShapeShifter adapts data width per *group* — "a set of values that are
+/// either calculated upon or transferred from/to memory together" (paper
+/// §1), typically 16–256 values adjacent along the channel dimension. The
+/// final group of a tensor may be shorter when the element count is not a
+/// multiple of the group size; the codec handles that by encoding the
+/// remainder as a short group.
+///
+/// Produced by [`crate::Tensor::groups`].
+#[derive(Debug, Clone)]
+pub struct GroupIter<'a> {
+    chunks: std::slice::Chunks<'a, i32>,
+}
+
+impl<'a> GroupIter<'a> {
+    pub(crate) fn new(data: &'a [i32], group_size: usize) -> Result<Self, TensorError> {
+        if group_size == 0 {
+            return Err(TensorError::InvalidGroupSize);
+        }
+        Ok(Self {
+            chunks: data.chunks(group_size),
+        })
+    }
+}
+
+impl<'a> Iterator for GroupIter<'a> {
+    type Item = &'a [i32];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.chunks.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.chunks.size_hint()
+    }
+}
+
+impl ExactSizeIterator for GroupIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_evenly() {
+        let data = [1, 2, 3, 4, 5, 6];
+        let groups: Vec<_> = GroupIter::new(&data, 2).unwrap().collect();
+        assert_eq!(groups, vec![&[1, 2][..], &[3, 4], &[5, 6]]);
+    }
+
+    #[test]
+    fn last_group_may_be_partial() {
+        let data = [1, 2, 3, 4, 5];
+        let groups: Vec<_> = GroupIter::new(&data, 4).unwrap().collect();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[1], &[5]);
+    }
+
+    #[test]
+    fn exact_size() {
+        let data = [0; 33];
+        let it = GroupIter::new(&data, 16).unwrap();
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn zero_group_size_is_error() {
+        assert!(GroupIter::new(&[1], 0).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+use std::fmt;
+
+/// A tensor shape: an ordered list of dimension extents, outermost first.
+///
+/// Conventionally `[N, C, H, W]` for activations and `[K, C, R, S]` for
+/// convolution weights, but any rank is accepted. The innermost dimension is
+/// the channel/depth dimension along which ShapeShifter groups values
+/// ("group size of 16 values along the channel dimension", paper Table 1
+/// caption), so tensors store that dimension contiguously.
+///
+/// # Examples
+///
+/// ```
+/// use ss_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.num_elements(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.innermost(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents, outermost first.
+    ///
+    /// A rank-0 (scalar) shape has one element. Zero extents are allowed and
+    /// yield an empty tensor.
+    #[must_use]
+    pub fn new(dims: Vec<usize>) -> Self {
+        Self { dims }
+    }
+
+    /// Convenience constructor for a flat 1-D shape.
+    #[must_use]
+    pub fn flat(len: usize) -> Self {
+        Self { dims: vec![len] }
+    }
+
+    /// The dimension extents, outermost first.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total element count (product of extents; 1 for a scalar shape).
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Extent of the innermost (channel) dimension; 1 for a scalar shape.
+    #[must_use]
+    pub fn innermost(&self) -> usize {
+        self.dims.last().copied().unwrap_or(1)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                f.write_str("x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_counts() {
+        assert_eq!(Shape::new(vec![]).num_elements(), 1);
+        assert_eq!(Shape::new(vec![0, 5]).num_elements(), 0);
+        assert_eq!(Shape::new(vec![2, 3, 4]).num_elements(), 24);
+        assert_eq!(Shape::flat(7).num_elements(), 7);
+    }
+
+    #[test]
+    fn innermost_dimension() {
+        assert_eq!(Shape::new(vec![]).innermost(), 1);
+        assert_eq!(Shape::new(vec![8, 16]).innermost(), 16);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(vec![1, 64, 56, 56]).to_string(), "[1x64x56x56]");
+        assert_eq!(Shape::new(vec![]).to_string(), "[]");
+    }
+
+    #[test]
+    fn conversions() {
+        let s: Shape = vec![3, 4].into();
+        assert_eq!(s.rank(), 2);
+        let s2: Shape = (&[3usize, 4][..]).into();
+        assert_eq!(s, s2);
+    }
+}

@@ -1,0 +1,245 @@
+use crate::{width, FixedType, GroupIter, Shape, Signedness, TensorError};
+
+/// A shaped buffer of fixed-point values with a declared container type.
+///
+/// Values are held as `i32` but every element is validated against the
+/// container ([`FixedType`]) at construction, so a `Tensor` upholds the
+/// invariant *every value fits its container* — the precondition for all
+/// width bookkeeping downstream.
+///
+/// The innermost shape dimension is stored contiguously, so
+/// [`Tensor::groups`] chunks along the channel dimension as the paper
+/// specifies for its group formation.
+///
+/// # Examples
+///
+/// ```
+/// use ss_tensor::{FixedType, Shape, Tensor};
+///
+/// # fn main() -> Result<(), ss_tensor::TensorError> {
+/// let t = Tensor::from_vec(
+///     Shape::flat(4),
+///     FixedType::U8,
+///     vec![3, 0, 200, 17],
+/// )?;
+/// assert_eq!(t.profiled_width(), 8); // 200 needs 8 bits
+/// assert_eq!(t.num_zero(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor {
+    shape: Shape,
+    dtype: FixedType,
+    data: Vec<i32>,
+}
+
+impl Tensor {
+    /// Creates a tensor, validating length and per-value range.
+    ///
+    /// # Errors
+    ///
+    /// * [`TensorError::ShapeMismatch`] if `data.len()` differs from the
+    ///   shape's element count.
+    /// * [`TensorError::ValueOutOfRange`] if any value does not fit `dtype`.
+    pub fn from_vec(shape: Shape, dtype: FixedType, data: Vec<i32>) -> Result<Self, TensorError> {
+        if shape.num_elements() != data.len() {
+            return Err(TensorError::ShapeMismatch {
+                shape,
+                data_len: data.len(),
+            });
+        }
+        for (index, &value) in data.iter().enumerate() {
+            if !dtype.contains(value) {
+                return Err(TensorError::ValueOutOfRange {
+                    index,
+                    value,
+                    dtype,
+                });
+            }
+        }
+        Ok(Self { shape, dtype, data })
+    }
+
+    /// Creates an all-zero tensor of the given shape and container.
+    #[must_use]
+    pub fn zeros(shape: Shape, dtype: FixedType) -> Self {
+        let n = shape.num_elements();
+        Self {
+            shape,
+            dtype,
+            data: vec![0; n],
+        }
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The declared container type.
+    #[must_use]
+    pub fn dtype(&self) -> FixedType {
+        self.dtype
+    }
+
+    /// Container signedness (shorthand for `dtype().signedness()`).
+    #[must_use]
+    pub fn signedness(&self) -> Signedness {
+        self.dtype.signedness()
+    }
+
+    /// Flat value slice, innermost dimension contiguous.
+    #[must_use]
+    pub fn values(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Total element count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of zero-valued elements.
+    #[must_use]
+    pub fn num_zero(&self) -> usize {
+        self.data.iter().filter(|&&v| v == 0).count()
+    }
+
+    /// Number of non-zero elements.
+    #[must_use]
+    pub fn num_nonzero(&self) -> usize {
+        self.len() - self.num_zero()
+    }
+
+    /// Fraction of zero elements (0.0 for an empty tensor).
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.num_zero() as f64 / self.len() as f64
+        }
+    }
+
+    /// Uncompressed footprint in bits: `len × container width`.
+    #[must_use]
+    pub fn container_bits(&self) -> u64 {
+        self.len() as u64 * u64::from(self.dtype.bits())
+    }
+
+    /// Per-layer profiled width: the width the worst value needs. This is
+    /// the "static"/Profile width of the paper's Figures 1–2.
+    #[must_use]
+    pub fn profiled_width(&self) -> u8 {
+        width::profiled_width(&self.data, self.signedness())
+    }
+
+    /// Average effective width at the given group size (paper Table 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size == 0`.
+    #[must_use]
+    pub fn effective_width(&self, group_size: usize) -> f64 {
+        width::effective_width(&self.data, self.signedness(), group_size)
+    }
+
+    /// Iterates over groups of `group_size` values along the innermost
+    /// dimension (the last group of each tensor may be shorter).
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::InvalidGroupSize`] if `group_size == 0`.
+    pub fn groups(&self, group_size: usize) -> Result<GroupIter<'_>, TensorError> {
+        GroupIter::new(&self.data, group_size)
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    #[must_use]
+    pub fn into_values(self) -> Vec<i32> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: Vec<i32>) -> Tensor {
+        Tensor::from_vec(Shape::flat(vals.len()), FixedType::I16, vals).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shape() {
+        let err = Tensor::from_vec(Shape::new(vec![2, 2]), FixedType::I8, vec![1, 2, 3]);
+        assert!(matches!(err, Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn construction_validates_range() {
+        let err = Tensor::from_vec(Shape::flat(2), FixedType::I8, vec![1, 130]);
+        assert!(matches!(
+            err,
+            Err(TensorError::ValueOutOfRange {
+                index: 1,
+                value: 130,
+                ..
+            })
+        ));
+        let err = Tensor::from_vec(Shape::flat(1), FixedType::U8, vec![-1]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn zeros_and_sparsity() {
+        let z = Tensor::zeros(Shape::new(vec![4, 4]), FixedType::U8);
+        assert_eq!(z.len(), 16);
+        assert_eq!(z.num_zero(), 16);
+        assert_eq!(z.sparsity(), 1.0);
+        assert_eq!(z.profiled_width(), 0);
+
+        let t = t(vec![0, 5, 0, -3]);
+        assert_eq!(t.num_nonzero(), 2);
+        assert!((t.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn container_bits() {
+        let t = t(vec![1, 2, 3, 4]);
+        assert_eq!(t.container_bits(), 64);
+        let t8 = Tensor::from_vec(Shape::flat(4), FixedType::U8, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(t8.container_bits(), 32);
+    }
+
+    #[test]
+    fn profiled_width_uses_signedness() {
+        let signed = t(vec![0, 5, -9]);
+        assert_eq!(signed.profiled_width(), 5); // |−9| -> 4 bits + sign
+        let unsigned = Tensor::from_vec(Shape::flat(3), FixedType::U16, vec![0, 5, 9]).unwrap();
+        assert_eq!(unsigned.profiled_width(), 4);
+    }
+
+    #[test]
+    fn groups_rejects_zero() {
+        let t = t(vec![1, 2]);
+        assert!(t.groups(0).is_err());
+        assert_eq!(t.groups(1).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let e = Tensor::from_vec(Shape::flat(0), FixedType::I8, vec![]).unwrap();
+        assert!(e.is_empty());
+        assert_eq!(e.sparsity(), 0.0);
+        assert_eq!(e.groups(16).unwrap().count(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the width arithmetic — the foundation every bit
+//! count in the evaluation rests on.
+
+use proptest::prelude::*;
+use ss_tensor::width::{
+    effective_width, from_sign_magnitude, group_width, to_sign_magnitude, value_width,
+};
+use ss_tensor::Signedness;
+
+proptest! {
+    #[test]
+    fn value_width_is_tight_unsigned(v in 0i32..=65_535) {
+        let w = value_width(v, Signedness::Unsigned);
+        if v == 0 {
+            prop_assert_eq!(w, 0);
+        } else {
+            // v fits in w bits but not in w-1.
+            prop_assert!(v < (1 << w));
+            prop_assert!(v >= (1 << (w - 1)));
+        }
+    }
+
+    #[test]
+    fn value_width_is_tight_signed(v in -32_767i32..=32_767) {
+        let w = value_width(v, Signedness::Signed);
+        if v == 0 {
+            prop_assert_eq!(w, 0);
+        } else {
+            // The sign-magnitude encoding fits exactly in w bits.
+            let enc = to_sign_magnitude(v);
+            prop_assert!(u64::from(enc) < (1u64 << w));
+            prop_assert!(u64::from(enc) >= (1u64 << (w - 1)));
+        }
+    }
+
+    #[test]
+    fn sign_magnitude_roundtrips(v in -(1i32 << 30)..=(1i32 << 30)) {
+        prop_assert_eq!(from_sign_magnitude(to_sign_magnitude(v)), v);
+    }
+
+    #[test]
+    fn group_width_is_the_member_maximum(
+        vals in prop::collection::vec(-32_767i32..=32_767, 0..100)
+    ) {
+        let g = group_width(&vals, Signedness::Signed);
+        let max = vals
+            .iter()
+            .map(|&v| value_width(v, Signedness::Signed))
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(g, max);
+    }
+
+    #[test]
+    fn effective_width_is_bracketed(
+        vals in prop::collection::vec(0i32..=65_535, 1..400),
+        group in 1usize..=64,
+    ) {
+        let eff = effective_width(&vals, Signedness::Unsigned, group);
+        let profiled = f64::from(group_width(&vals, Signedness::Unsigned));
+        let mean_value: f64 = vals
+            .iter()
+            .map(|&v| f64::from(value_width(v, Signedness::Unsigned)))
+            .sum::<f64>()
+            / vals.len() as f64;
+        // Per-value <= per-group effective <= per-layer profiled.
+        prop_assert!(eff <= profiled + 1e-9);
+        prop_assert!(eff + 1e-9 >= mean_value);
+    }
+
+    #[test]
+    fn effective_width_shrinks_with_finer_groups(
+        vals in prop::collection::vec(0i32..=65_535, 1..400)
+    ) {
+        let fine = effective_width(&vals, Signedness::Unsigned, 8);
+        let coarse = effective_width(&vals, Signedness::Unsigned, 64);
+        prop_assert!(fine <= coarse + 1e-9);
+    }
+}

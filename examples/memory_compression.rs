@@ -1,0 +1,69 @@
+//! Scenario: off-chip memory compression for a whole model — the paper's
+//! first ShapeShifter application (§3).
+//!
+//! Prices every layer of AlexNet under the four off-chip schemes of
+//! Figure 8 and prints the per-layer and total traffic, demonstrating why
+//! the memory-bound fully-connected layers dominate and how ShapeShifter
+//! compares to profile-based and zero-RLE compression.
+//!
+//! Run with `cargo run --release --example memory_compression`.
+
+use shapeshifter::prelude::*;
+use shapeshifter::sim::sim::MODEL_SEED;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = zoo::alexnet();
+    let ss = ShapeShifterScheme::default();
+    let rle = ZeroRle::default();
+    let schemes: [&dyn CompressionScheme; 4] = [&Base, &ProfileScheme, &ss, &rle];
+
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "layer", "values", "Base MB", "Profile", "SShifter", "ZeroRLE"
+    );
+    let mut totals = [0u64; 4];
+    for (i, layer) in net.layers().iter().enumerate() {
+        let w = net.weight_tensor(i, MODEL_SEED);
+        let a = net.input_tensor(i, 1);
+        let o = net.output_tensor(i, 1);
+        use shapeshifter::sim::TensorSource;
+        let ctx_a = SchemeCtx::profiled(net.profiled_act_width(i));
+        let ctx_w = SchemeCtx::profiled(net.profiled_wgt_width(i));
+        let mut bits = [0u64; 4];
+        for (b, s) in bits.iter_mut().zip(schemes) {
+            *b = s.compressed_bits(&a, &ctx_a)
+                + s.compressed_bits(&w, &ctx_w)
+                + s.compressed_bits(&o, &ctx_a);
+        }
+        let mb = |b: u64| b as f64 / 8.0 / 1_048_576.0;
+        println!(
+            "{:<10} {:>12} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            layer.name(),
+            a.len() + w.len() + o.len(),
+            mb(bits[0]),
+            mb(bits[1]),
+            mb(bits[2]),
+            mb(bits[3]),
+        );
+        for (t, b) in totals.iter_mut().zip(bits) {
+            *t += b;
+        }
+    }
+    println!(
+        "\ntotal traffic vs Base: Profile {:.1}%  ShapeShifter {:.1}%  ZeroRLE {:.1}%",
+        100.0 * totals[1] as f64 / totals[0] as f64,
+        100.0 * totals[2] as f64 / totals[0] as f64,
+        100.0 * totals[3] as f64 / totals[0] as f64,
+    );
+
+    // And what that traffic means for a bit-parallel accelerator.
+    let cfg = SimConfig::with_dram(DramConfig::DDR4_2133);
+    let base_run = simulate(&net, &DaDianNao::new(), &Base, &cfg, 1);
+    let ss_run = simulate(&net, &DaDianNao::new(), &ss, &cfg, 1);
+    println!(
+        "DaDianNao* @ DDR4-2133: ShapeShifter speedup {:.2}x, energy {:.1}% of baseline",
+        ss_run.speedup_over(&base_run),
+        100.0 * ss_run.total_energy().total_pj() / base_run.total_energy().total_pj(),
+    );
+    Ok(())
+}

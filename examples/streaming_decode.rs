@@ -1,0 +1,80 @@
+//! Scenario: provisioning the on-chip decompressor — verifies the
+//! two-level L1D/L2D pipeline of the paper's Figure 6d keeps up with the
+//! DDR4 stream across layers and memory speeds, and demonstrates the
+//! `SSPK` file container round-trip.
+//!
+//! Run with `cargo run --release --example streaming_decode`.
+
+use shapeshifter::container;
+use shapeshifter::core::decompressor::DecompressorModel;
+use shapeshifter::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = zoo::resnet50();
+    let codec = ShapeShifterCodec::new(16);
+
+    // Size the decompressor per memory node: how many L2 expanders (one
+    // per on-chip bank, each emitting one value per cycle) keep decode
+    // transparent? The answer grows with compression: a 3-bit/value
+    // stream delivers values far faster than a 16-bit one.
+    println!("decompressor sizing across memory nodes (ResNet50 activations):\n");
+    println!(
+        "{:<14} {:>10} {:>14} {:>14}",
+        "node", "bits/cyc", "L2Ds needed", "L1Ds needed"
+    );
+    for dram in [
+        DramConfig::DDR4_2133,
+        DramConfig::DDR4_2400,
+        DramConfig::DDR4_3200,
+    ] {
+        let line = dram.bits_per_cycle(1_000_000_000) as u64;
+        // Size against substantial streams: tiny arrays (the classifier
+        // inputs) are latency-floor-bound by a single group's serial time
+        // and finish long before anyone waits on them.
+        let encs: Vec<_> = (0..net.layers().len())
+            .map(|i| codec.encode(&net.input_tensor(i, 1)))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .filter(|e| e.len() >= 4096)
+            .collect();
+        // Find the smallest power-of-two (L1, L2) making every layer's
+        // decode transparent.
+        let mut l1 = 1u64;
+        let mut l2 = 8u64;
+        loop {
+            let model = DecompressorModel::new(line, l2).with_l1_count(l1);
+            let ok = encs.iter().all(|e| model.timing(e).is_transparent());
+            if ok {
+                break;
+            }
+            let bound = encs
+                .iter()
+                .map(|e| model.timing(e).bound())
+                .find(|b| *b != shapeshifter::core::decompressor::DecodeBound::MemorySupply);
+            match bound {
+                Some(shapeshifter::core::decompressor::DecodeBound::L1Dispatch) => l1 *= 2,
+                _ => l2 *= 2,
+            }
+        }
+        println!("{:<14} {:>10} {:>14} {:>14}", dram.label(), line, l2, l1);
+    }
+    println!(
+        "\n(The sizing driver is the *sparsest* layer: at ~1.5 stream bits per\n\
+         value, hundreds of values arrive per cycle. Matching raw DDR bandwidth\n\
+         instead of worst-case compression needs only ~2 x 16 L2Ds.)"
+    );
+
+    // File-container round trip: ship a layer's weights as an .sspk blob.
+    let w = net.weight_tensor(10, 0);
+    let packed = container::pack(&w, 16)?;
+    let meta = container::info(&packed)?;
+    println!(
+        "\npacked {} ({} weights) into {} bytes — {:.1}% of raw; decode matches: {}",
+        net.layers()[10].name(),
+        w.len(),
+        packed.len(),
+        meta.ratio() * 100.0,
+        container::unpack(&packed)? == w
+    );
+    Ok(())
+}

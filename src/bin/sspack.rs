@@ -1,0 +1,108 @@
+//! `sspack` — pack and unpack raw fixed-point tensors with ShapeShifter
+//! compression (the `SSPK` file container).
+//!
+//! ```text
+//! sspack pack   <in.raw> <out.sspk> [--bits N] [--signed] [--group N] [--delta]
+//! sspack unpack <in.sspk> <out.raw>
+//! sspack info   <in.sspk>
+//! ```
+//!
+//! Raw files hold little-endian values: one byte per value for containers
+//! of 8 bits or fewer, two bytes otherwise.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+
+use shapeshifter::container;
+use shapeshifter::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sspack pack   <in.raw> <out.sspk> [--bits N] [--signed] [--group N] [--delta]\n  \
+         sspack unpack <in.sspk> <out.raw>\n  sspack info   <in.sspk>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("pack") => pack(&args[1..]),
+        Some("unpack") => unpack(&args[1..]),
+        Some("info") => info(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sspack: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn pack(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut bits: u8 = 16;
+    let mut signed = false;
+    let mut group: usize = 16;
+    let mut codec = container::ContainerCodec::ShapeShifter;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bits" => bits = it.next().ok_or("--bits needs a value")?.parse()?,
+            "--signed" => signed = true,
+            "--group" => group = it.next().ok_or("--group needs a value")?.parse()?,
+            "--delta" => codec = container::ContainerCodec::Delta,
+            other => positional.push(other),
+        }
+    }
+    let [input, output] = positional[..] else {
+        return Err("pack needs <in.raw> <out.sspk>".into());
+    };
+    let dtype = if signed {
+        FixedType::signed(bits)?
+    } else {
+        FixedType::unsigned(bits)?
+    };
+    let raw = fs::read(input)?;
+    let values = container::values_from_raw(&raw, dtype)?;
+    let tensor = Tensor::from_vec(Shape::flat(values.len()), dtype, values)?;
+    let packed = container::pack_with_codec(&tensor, group, codec)?;
+    fs::write(output, &packed)?;
+    println!(
+        "packed {} values ({} bytes) into {} bytes ({:.1}% of raw)",
+        tensor.len(),
+        raw.len(),
+        packed.len(),
+        100.0 * packed.len() as f64 / raw.len().max(1) as f64
+    );
+    Ok(())
+}
+
+fn unpack(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [input, output] = args.iter().map(String::as_str).collect::<Vec<_>>()[..] else {
+        return Err("unpack needs <in.sspk> <out.raw>".into());
+    };
+    let packed = fs::read(input)?;
+    let tensor = container::unpack(&packed)?;
+    fs::write(output, container::values_to_raw(&tensor))?;
+    println!("unpacked {} values", tensor.len());
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [input] = args.iter().map(String::as_str).collect::<Vec<_>>()[..] else {
+        return Err("info needs <in.sspk>".into());
+    };
+    let packed = fs::read(input)?;
+    let meta = container::info(&packed)?;
+    println!("container:   {}", meta.dtype);
+    println!("codec:       {:?}", meta.codec);
+    println!("group size:  {}", meta.group_size);
+    println!("values:      {}", meta.len);
+    println!("stream bits: {}", meta.stream_bits);
+    println!("ratio:       {:.1}% of raw", meta.ratio() * 100.0);
+    Ok(())
+}

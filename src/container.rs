@@ -1,0 +1,419 @@
+//! A self-describing file container for ShapeShifter-compressed tensors.
+//!
+//! The paper's memory container is a headerless stream whose framing
+//! (element count, container type, group size) travels as layer metadata.
+//! For files, this module prepends exactly that metadata:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "SSPK"
+//! 4       1     format version (1)
+//! 5       1     container bits (1..=16)
+//! 6       1     signedness (0 unsigned, 1 signed)
+//! 7       1     codec (0 ShapeShifter, 1 Delta-ShapeShifter)
+//! 8       2     group size, little-endian
+//! 10      8     element count, little-endian
+//! 18      8     stream length in bits, little-endian
+//! 26      -     the compressed stream
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use shapeshifter::container;
+//! use shapeshifter::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let t = Tensor::from_vec(Shape::flat(4), FixedType::I16, vec![1, -2, 0, 300])?;
+//! let packed = container::pack(&t, 16)?;
+//! let back = container::unpack(&packed)?;
+//! assert_eq!(back, t);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use ss_core::scheme::DeltaShapeShifter;
+use ss_core::{CodecError, ShapeShifterCodec};
+use ss_tensor::{FixedType, Shape, Signedness, Tensor, TensorError};
+
+/// The compression codec a container uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ContainerCodec {
+    /// The paper's per-group container (zero elision + width prefix).
+    #[default]
+    ShapeShifter,
+    /// The Diffy-style delta extension — wins on spatially correlated
+    /// data such as imaging activations.
+    Delta,
+}
+
+impl ContainerCodec {
+    fn to_byte(self) -> u8 {
+        match self {
+            ContainerCodec::ShapeShifter => 0,
+            ContainerCodec::Delta => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(ContainerCodec::ShapeShifter),
+            1 => Some(ContainerCodec::Delta),
+            _ => None,
+        }
+    }
+}
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"SSPK";
+/// Current format version.
+pub const VERSION: u8 = 1;
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 26;
+
+/// Errors for the file container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// The file does not start with the `SSPK` magic.
+    BadMagic,
+    /// The file declares an unsupported format version.
+    UnsupportedVersion(u8),
+    /// The header is shorter than [`HEADER_LEN`] or internally
+    /// inconsistent.
+    Malformed(String),
+    /// The compressed stream failed to decode.
+    Codec(CodecError),
+    /// Tensor validation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerError::BadMagic => write!(f, "not an SSPK container (bad magic)"),
+            ContainerError::UnsupportedVersion(v) => {
+                write!(f, "unsupported container version {v}")
+            }
+            ContainerError::Malformed(why) => write!(f, "malformed container: {why}"),
+            ContainerError::Codec(e) => write!(f, "stream decode failed: {e}"),
+            ContainerError::Tensor(e) => write!(f, "tensor validation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ContainerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ContainerError::Codec(e) => Some(e),
+            ContainerError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for ContainerError {
+    fn from(e: CodecError) -> Self {
+        ContainerError::Codec(e)
+    }
+}
+
+impl From<TensorError> for ContainerError {
+    fn from(e: TensorError) -> Self {
+        ContainerError::Tensor(e)
+    }
+}
+
+/// Decoded header metadata (what `sspack info` prints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerInfo {
+    /// Value container type.
+    pub dtype: FixedType,
+    /// Group size.
+    pub group_size: usize,
+    /// Element count.
+    pub len: u64,
+    /// Compressed stream length in bits.
+    pub stream_bits: u64,
+    /// Codec in use.
+    pub codec: ContainerCodec,
+}
+
+impl ContainerInfo {
+    /// Compression ratio vs the raw container (lower is better).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        let raw = self.len * u64::from(self.dtype.bits());
+        if raw == 0 {
+            1.0
+        } else {
+            self.stream_bits as f64 / raw as f64
+        }
+    }
+}
+
+/// Packs a tensor into an `SSPK` byte vector.
+///
+/// # Errors
+///
+/// Propagates [`CodecError`] from encoding (unreachable for valid
+/// tensors).
+///
+/// # Panics
+///
+/// Panics if `group_size` is 0 or exceeds 256 (as the codec does).
+pub fn pack(tensor: &Tensor, group_size: usize) -> Result<Vec<u8>, ContainerError> {
+    pack_with_codec(tensor, group_size, ContainerCodec::ShapeShifter)
+}
+
+/// Packs a tensor with an explicit codec choice.
+///
+/// # Errors
+///
+/// As [`pack`].
+///
+/// # Panics
+///
+/// Panics if `group_size` is 0 or exceeds 256.
+pub fn pack_with_codec(
+    tensor: &Tensor,
+    group_size: usize,
+    codec: ContainerCodec,
+) -> Result<Vec<u8>, ContainerError> {
+    let (bytes, bit_len) = match codec {
+        ContainerCodec::ShapeShifter => {
+            let enc = ShapeShifterCodec::new(group_size).encode(tensor)?;
+            let bits = enc.bit_len();
+            (enc.bytes().to_vec(), bits)
+        }
+        ContainerCodec::Delta => DeltaShapeShifter::new(group_size).encode(tensor)?,
+    };
+    let mut out = Vec::with_capacity(HEADER_LEN + bytes.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(tensor.dtype().bits());
+    out.push(u8::from(tensor.signedness().is_signed()));
+    out.push(codec.to_byte());
+    out.extend_from_slice(&(group_size as u16).to_le_bytes());
+    out.extend_from_slice(&(tensor.len() as u64).to_le_bytes());
+    out.extend_from_slice(&bit_len.to_le_bytes());
+    out.extend_from_slice(&bytes);
+    Ok(out)
+}
+
+/// Reads only the header.
+///
+/// # Errors
+///
+/// [`ContainerError`] variants for bad magic, version or malformed
+/// headers.
+pub fn info(bytes: &[u8]) -> Result<ContainerInfo, ContainerError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ContainerError::Malformed(format!(
+            "file is {} bytes, header needs {HEADER_LEN}",
+            bytes.len()
+        )));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(ContainerError::BadMagic);
+    }
+    if bytes[4] != VERSION {
+        return Err(ContainerError::UnsupportedVersion(bytes[4]));
+    }
+    let bits = bytes[5];
+    let dtype = match bytes[6] {
+        0 => FixedType::unsigned(bits),
+        1 => FixedType::signed(bits),
+        s => {
+            return Err(ContainerError::Malformed(format!(
+                "signedness byte {s} is neither 0 nor 1"
+            )))
+        }
+    }?;
+    let codec = ContainerCodec::from_byte(bytes[7]).ok_or_else(|| {
+        ContainerError::Malformed(format!("unknown codec id {}", bytes[7]))
+    })?;
+    let group_size = u16::from_le_bytes([bytes[8], bytes[9]]) as usize;
+    if group_size == 0 || group_size > 256 {
+        return Err(ContainerError::Malformed(format!(
+            "group size {group_size} outside 1..=256"
+        )));
+    }
+    let len = u64::from_le_bytes(bytes[10..18].try_into().expect("slice length checked"));
+    let stream_bits =
+        u64::from_le_bytes(bytes[18..26].try_into().expect("slice length checked"));
+    let available = (bytes.len() - HEADER_LEN) as u64 * 8;
+    if stream_bits > available {
+        return Err(ContainerError::Malformed(format!(
+            "stream claims {stream_bits} bits but file carries {available}"
+        )));
+    }
+    Ok(ContainerInfo {
+        dtype,
+        group_size,
+        len,
+        stream_bits,
+        codec,
+    })
+}
+
+/// Unpacks an `SSPK` byte vector back into the original tensor.
+///
+/// # Errors
+///
+/// [`ContainerError`] variants for framing problems or a corrupt stream.
+pub fn unpack(bytes: &[u8]) -> Result<Tensor, ContainerError> {
+    let meta = info(bytes)?;
+    let stream = &bytes[HEADER_LEN..];
+    let values = match meta.codec {
+        ContainerCodec::ShapeShifter => ShapeShifterCodec::new(meta.group_size)
+            .decode_stream(stream, meta.stream_bits, meta.dtype, meta.len as usize)?,
+        ContainerCodec::Delta => DeltaShapeShifter::new(meta.group_size).decode(
+            stream,
+            meta.stream_bits,
+            meta.dtype,
+            meta.len as usize,
+        )?,
+    };
+    Ok(Tensor::from_vec(
+        Shape::flat(meta.len as usize),
+        meta.dtype,
+        values,
+    )?)
+}
+
+/// Interprets raw little-endian bytes as fixed-point values for packing.
+///
+/// 8-bit containers consume one byte per value; wider containers two
+/// (little-endian), interpreted as two's-complement when signed and
+/// converted to the library's sign-magnitude-friendly `i32` form.
+///
+/// # Errors
+///
+/// [`ContainerError::Malformed`] if the byte count does not divide evenly
+/// or a value does not fit the container.
+pub fn values_from_raw(bytes: &[u8], dtype: FixedType) -> Result<Vec<i32>, ContainerError> {
+    let step = if dtype.bits() <= 8 { 1 } else { 2 };
+    if !bytes.len().is_multiple_of(step) {
+        return Err(ContainerError::Malformed(format!(
+            "{} raw bytes do not divide into {step}-byte values",
+            bytes.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / step);
+    for chunk in bytes.chunks(step) {
+        let v: i32 = match (step, dtype.signedness()) {
+            (1, Signedness::Unsigned) => i32::from(chunk[0]),
+            (1, Signedness::Signed) => i32::from(chunk[0] as i8),
+            (2, Signedness::Unsigned) => i32::from(u16::from_le_bytes([chunk[0], chunk[1]])),
+            (2, Signedness::Signed) => i32::from(i16::from_le_bytes([chunk[0], chunk[1]])),
+            _ => unreachable!("step is 1 or 2"),
+        };
+        if !dtype.contains(v) {
+            return Err(ContainerError::Malformed(format!(
+                "raw value {v} does not fit container {dtype}"
+            )));
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Serializes values back to raw little-endian bytes (inverse of
+/// [`values_from_raw`]).
+#[must_use]
+pub fn values_to_raw(tensor: &Tensor) -> Vec<u8> {
+    let step = if tensor.dtype().bits() <= 8 { 1 } else { 2 };
+    let mut out = Vec::with_capacity(tensor.len() * step);
+    for &v in tensor.values() {
+        if step == 1 {
+            out.push(v as u8);
+        } else {
+            out.extend_from_slice(&(v as i16).to_le_bytes());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: Vec<i32>) -> Tensor {
+        Tensor::from_vec(Shape::flat(vals.len()), FixedType::I16, vals).unwrap()
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let tensor = t(vec![0, 1, -1, 300, -32000, 0, 0, 7]);
+        let packed = pack(&tensor, 16).unwrap();
+        assert_eq!(unpack(&packed).unwrap(), tensor);
+        let meta = info(&packed).unwrap();
+        assert_eq!(meta.len, 8);
+        assert_eq!(meta.group_size, 16);
+        assert!(meta.ratio() < 1.0);
+    }
+
+    #[test]
+    fn delta_codec_roundtrips() {
+        let tensor = t(vec![1000, 1002, 1001, 999, 0, 0, 998, 30_000]);
+        let packed = pack_with_codec(&tensor, 4, ContainerCodec::Delta).unwrap();
+        assert_eq!(info(&packed).unwrap().codec, ContainerCodec::Delta);
+        assert_eq!(unpack(&packed).unwrap(), tensor);
+    }
+
+    #[test]
+    fn unknown_codec_rejected() {
+        let tensor = t(vec![1, 2]);
+        let mut packed = pack(&tensor, 16).unwrap();
+        packed[7] = 9;
+        assert!(matches!(unpack(&packed), Err(ContainerError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let tensor = t(vec![1, 2]);
+        let mut packed = pack(&tensor, 16).unwrap();
+        packed[0] = b'X';
+        assert_eq!(unpack(&packed), Err(ContainerError::BadMagic));
+        packed[0] = b'S';
+        packed[4] = 9;
+        assert_eq!(unpack(&packed), Err(ContainerError::UnsupportedVersion(9)));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let tensor = t((0..64).map(|i| i * 100).collect());
+        let packed = pack(&tensor, 16).unwrap();
+        let cut = &packed[..packed.len() - 4];
+        assert!(matches!(
+            unpack(cut),
+            Err(ContainerError::Malformed(_)) | Err(ContainerError::Codec(_))
+        ));
+        assert!(info(&packed[..10]).is_err());
+    }
+
+    #[test]
+    fn raw_conversion_roundtrips() {
+        let tensor = t(vec![-5, 5, 0, 32767, -32767]);
+        let raw = values_to_raw(&tensor);
+        let back = values_from_raw(&raw, FixedType::I16).unwrap();
+        assert_eq!(back, tensor.values());
+        // 8-bit path.
+        let t8 = Tensor::from_vec(Shape::flat(3), FixedType::U8, vec![0, 128, 255]).unwrap();
+        let raw8 = values_to_raw(&t8);
+        assert_eq!(raw8.len(), 3);
+        assert_eq!(values_from_raw(&raw8, FixedType::U8).unwrap(), t8.values());
+    }
+
+    #[test]
+    fn raw_rejects_out_of_range() {
+        // -32768 is two's-complement-representable but not sign-magnitude.
+        let raw = (-32768i16).to_le_bytes();
+        assert!(values_from_raw(&raw, FixedType::I16).is_err());
+        // Odd byte counts don't divide into 16-bit values.
+        assert!(values_from_raw(&[1, 2, 3], FixedType::I16).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Fuzzing the `SSPK` file container: arbitrary bytes must never panic
+//! the parser or decoder, and valid containers must survive arbitrary
+//! truncation and single-byte corruption without panicking.
+
+use proptest::prelude::*;
+use shapeshifter::container;
+use shapeshifter::prelude::*;
+
+fn arb_tensor() -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-32_767i32..=32_767, 0..200).prop_map(|v| {
+        Tensor::from_vec(Shape::flat(v.len()), FixedType::I16, v).expect("values fit i16")
+    })
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = container::info(&bytes);
+        let _ = container::unpack(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_bytes_with_valid_magic_never_panic(
+        mut bytes in prop::collection::vec(any::<u8>(), 26..600)
+    ) {
+        bytes[0..4].copy_from_slice(b"SSPK");
+        bytes[4] = 1; // valid version, random everything else
+        let _ = container::unpack(&bytes);
+    }
+
+    #[test]
+    fn truncation_never_panics(t in arb_tensor(), cut in any::<prop::sample::Index>()) {
+        let packed = container::pack(&t, 16).unwrap();
+        let cut = cut.index(packed.len() + 1);
+        let _ = container::unpack(&packed[..cut]);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        t in arb_tensor(),
+        pos in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        for codec in [
+            container::ContainerCodec::ShapeShifter,
+            container::ContainerCodec::Delta,
+        ] {
+            let mut packed = container::pack_with_codec(&t, 16, codec).unwrap();
+            if packed.is_empty() {
+                continue;
+            }
+            let i = pos.index(packed.len());
+            packed[i] ^= xor;
+            // May decode to wrong values (no checksum, as in the paper's
+            // container) or error — never panic.
+            let _ = container::unpack(&packed);
+        }
+    }
+
+    #[test]
+    fn both_codecs_roundtrip(t in arb_tensor(), group in 1usize..=64) {
+        for codec in [
+            container::ContainerCodec::ShapeShifter,
+            container::ContainerCodec::Delta,
+        ] {
+            let packed = container::pack_with_codec(&t, group, codec).unwrap();
+            prop_assert_eq!(&container::unpack(&packed).unwrap(), &t);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Cross-crate integration tests: the full zoo → quantize → compress →
+//! simulate pipeline, exercised end-to-end through the facade.
+
+use shapeshifter::prelude::*;
+use shapeshifter::sim::sim::MODEL_SEED;
+
+fn tiny(net: Network) -> Network {
+    net.scaled_down(8)
+}
+
+#[test]
+fn every_zoo_network_compresses_losslessly() {
+    let codec = ShapeShifterCodec::new(16);
+    for net in zoo::all() {
+        let net = tiny(net);
+        for i in [0, net.layers().len() / 2, net.layers().len() - 1] {
+            let w = net.weight_tensor(i, MODEL_SEED);
+            let enc = codec.encode(&w).unwrap();
+            assert_eq!(codec.decode(&enc).unwrap(), w, "{} weights {i}", net.name());
+            let a = net.input_tensor(i, 3);
+            let enc = codec.encode(&a).unwrap();
+            assert_eq!(codec.decode(&enc).unwrap(), a, "{} acts {i}", net.name());
+        }
+    }
+}
+
+#[test]
+fn shapeshifter_never_loses_to_base_on_zoo_tensors() {
+    // The paper's robustness claim over the whole evaluated distribution:
+    // "ShapeShifter compression is robust and never increases traffic."
+    let ss = ShapeShifterScheme::default();
+    let ctx = SchemeCtx::unprofiled();
+    for net in zoo::all() {
+        let net = tiny(net);
+        for i in 0..net.layers().len() {
+            let a = net.input_tensor(i, 1);
+            assert!(
+                ss.compressed_bits(&a, &ctx) <= Base.compressed_bits(&a, &ctx),
+                "{} layer {i} activations",
+                net.name()
+            );
+            let w = net.weight_tensor(i, MODEL_SEED);
+            assert!(
+                ss.compressed_bits(&w, &ctx) <= Base.compressed_bits(&w, &ctx),
+                "{} layer {i} weights",
+                net.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_variants_compress_losslessly_too() {
+    let codec = ShapeShifterCodec::new(16);
+    let base = tiny(zoo::googlenet_s());
+    for method in [QuantMethod::Tensorflow, QuantMethod::RangeAware] {
+        let q = QuantizedNetwork::new(base.clone(), method);
+        for i in [0, base.layers().len() / 2] {
+            let a = q.input_tensor(i, 5);
+            let enc = codec.encode(&a).unwrap();
+            assert_eq!(codec.decode(&enc).unwrap(), a, "{:?} acts {i}", method);
+            let w = q.weight_tensor(i, MODEL_SEED);
+            let enc = codec.encode(&w).unwrap();
+            assert_eq!(codec.decode(&enc).unwrap(), w, "{:?} wgts {i}", method);
+        }
+    }
+}
+
+#[test]
+fn sstripes_is_never_slower_than_stripes_across_the_zoo() {
+    let cfg = SimConfig::default();
+    for net in [zoo::alexnet(), zoo::googlenet(), zoo::mobilenet()] {
+        let net = tiny(net);
+        let stripes = simulate(&net, &Stripes::new(), &ProfileScheme, &cfg, 1);
+        let sstripes = simulate(
+            &net,
+            &SStripes::new(),
+            &ShapeShifterScheme::default(),
+            &cfg,
+            1,
+        );
+        assert!(
+            sstripes.speedup_over(&stripes) >= 1.0,
+            "{}: {:.3}",
+            net.name(),
+            sstripes.speedup_over(&stripes)
+        );
+    }
+}
+
+#[test]
+fn compression_helps_most_when_memory_is_slow() {
+    // The Figure 9 trend: the slower the DRAM, the bigger ShapeShifter's
+    // speedup on a bit-parallel engine.
+    let net = tiny(zoo::vgg_s());
+    let mut last_speedup = f64::MAX;
+    for dram in [
+        DramConfig::DDR4_3200,
+        DramConfig::DDR4_2400,
+        DramConfig::DDR4_2133,
+    ] {
+        let cfg = SimConfig::with_dram(dram);
+        let base = simulate(&net, &DaDianNao::new(), &Base, &cfg, 1);
+        let ss = simulate(
+            &net,
+            &DaDianNao::new(),
+            &ShapeShifterScheme::default(),
+            &cfg,
+            1,
+        );
+        let s = ss.speedup_over(&base);
+        assert!(
+            s <= last_speedup + 1e-9 || (s - last_speedup).abs() < 0.05,
+            "slower DRAM should not reduce the benefit: {s} after {last_speedup}"
+        );
+        last_speedup = s;
+    }
+    // On the slowest node the FC-heavy model must benefit materially.
+    assert!(last_speedup > 1.2, "speedup at DDR4-2133: {last_speedup}");
+}
+
+#[test]
+fn numerical_equivalence_of_dynamic_widths() {
+    // SStripes "produces the same numerical result as Stripes": processing
+    // a group at its detected width loses nothing. Emulate both datapaths
+    // in software over real zoo values and compare inner products.
+    let net = tiny(zoo::alexnet());
+    let w = net.weight_tensor(0, MODEL_SEED);
+    let a = net.input_tensor(0, 9);
+    let n = w.len().min(a.len()) / 16 * 16;
+    let det = WidthDetector::new(16, Signedness::Unsigned);
+    let mut full = 0i64;
+    let mut trimmed = 0i64;
+    for g in 0..n / 16 {
+        let acts = &a.values()[g * 16..(g + 1) * 16];
+        let wgts = &w.values()[g * 16..(g + 1) * 16];
+        let width = det.detect(acts);
+        for (&x, &y) in acts.iter().zip(wgts) {
+            full += i64::from(x) * i64::from(y);
+            // Processing only `width` bits of x: identical because the
+            // detector never truncates a set bit.
+            let masked = x & ((1 << width.max(1)) - 1);
+            trimmed += i64::from(masked) * i64::from(y);
+        }
+    }
+    assert_eq!(full, trimmed);
+}
+
+#[test]
+fn facade_prelude_is_usable() {
+    // Everything the README shows must be reachable via the prelude.
+    let t = Tensor::from_vec(Shape::flat(2), FixedType::I8, vec![1, -1]).unwrap();
+    assert_eq!(t.len(), 2);
+    let _ = DramConfig::DDR4_3200;
+    let _ = BufferConfig::paper_16b();
+    let _: &dyn CompressionScheme = &ZeroRle::default();
+    let _ = RangeAwareQuantizer::new(8).unwrap();
+    let _ = TfQuantizer::new(1.0).unwrap();
+    let _ = Scnn::new();
+    let _ = Loom::new();
+    let _ = BitFusion::new();
+}

@@ -1,0 +1,158 @@
+//! Codec and harness performance baseline.
+//!
+//! Times the ShapeShifter codec's encode / measure / decode paths on a
+//! 4M-value skewed tensor at 1 and 8 worker threads, plus one
+//! representative traffic sweep (cold, then warm against the shared
+//! statistics cache), and writes the numbers as machine-readable JSON to
+//! `BENCH_codec.json` (override the path with `SS_BENCH_OUT`).
+//!
+//! The inputs are pinned — geometry, seed, group size and thread counts
+//! are hard-coded — so successive runs of the binary are comparable
+//! without environment setup. The host's available parallelism is
+//! recorded in the JSON: thread-scaling ratios are only meaningful when
+//! the host actually has the cores (a 1-core container will honestly
+//! report ~1x).
+
+use std::io::Write;
+use std::time::Instant;
+
+use ss_bench::suites::traffic_totals;
+use ss_core::scheme::{Base, CompressionScheme, ProfileScheme, ShapeShifterScheme, ZeroRle};
+use ss_core::ShapeShifterCodec;
+use ss_tensor::{FixedType, Shape, Tensor};
+
+/// 4Mi values: large enough that chunked encode dominates thread spawn.
+const VALUES: usize = 1 << 22;
+const GROUP_SIZE: usize = 16;
+const THREADS: [usize; 2] = [1, 8];
+/// Timed repetitions per configuration; the minimum is reported.
+const REPS: usize = 3;
+
+/// The paper's skewed value population: mostly near-zero, some zeros,
+/// rare wide values — deterministic, no RNG dependency.
+fn skewed_tensor() -> Tensor {
+    let vals: Vec<i32> = (0..VALUES)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2_654_435_761);
+            match h % 16 {
+                0..=5 => 0,
+                6..=12 => (h >> 8) as i32 % 16,
+                13 | 14 => (h >> 8) as i32 % 512,
+                _ => -((h >> 8) as i32 % 20_000),
+            }
+        })
+        .collect();
+    Tensor::from_vec(Shape::flat(VALUES), FixedType::I16, vals).expect("values fit i16")
+}
+
+fn best_of<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("REPS >= 1"))
+}
+
+fn mvalues_per_s(ms: f64) -> f64 {
+    VALUES as f64 / (ms * 1e-3) / 1e6
+}
+
+fn main() -> std::io::Result<()> {
+    let out = std::env::var("SS_BENCH_OUT").unwrap_or_else(|_| "BENCH_codec.json".into());
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let tensor = skewed_tensor();
+    let codec = ShapeShifterCodec::new(GROUP_SIZE);
+
+    println!("perf_baseline: {VALUES} i16 values, group {GROUP_SIZE}, best of {REPS}");
+    println!("host available_parallelism: {host_threads}");
+
+    let mut encode_ms = Vec::new();
+    let mut measure_ms = Vec::new();
+    let mut encoded = None;
+    for &t in &THREADS {
+        let (ms, enc) = best_of(|| codec.encode_with_threads(&tensor, t).expect("encode"));
+        println!(
+            "encode  threads={t}: {ms:>8.2} ms  ({:.1} Mvalues/s)",
+            mvalues_per_s(ms)
+        );
+        encode_ms.push(ms);
+        encoded = Some(enc);
+        let (ms, _) = best_of(|| codec.measure_with_threads(&tensor, t));
+        println!(
+            "measure threads={t}: {ms:>8.2} ms  ({:.1} Mvalues/s)",
+            mvalues_per_s(ms)
+        );
+        measure_ms.push(ms);
+    }
+    let encoded = encoded.expect("THREADS is non-empty");
+    let (decode_ms, back) = best_of(|| codec.decode(&encoded).expect("decode"));
+    assert_eq!(back, tensor, "decode must round-trip");
+    println!(
+        "decode  (sequential): {decode_ms:>8.2} ms  ({:.1} Mvalues/s)",
+        mvalues_per_s(decode_ms)
+    );
+
+    // Representative traffic sweep: one 16-bit model, the Figure 8 scheme
+    // set, priced twice — the second pass hits the process-wide stats
+    // cache that all figures share.
+    let net = ss_models::zoo::alexnet().scaled_down(4);
+    let ss = ShapeShifterScheme::default();
+    let rle = ZeroRle::default();
+    let schemes: [&dyn CompressionScheme; 4] = [&Base, &ProfileScheme, &ss, &rle];
+    let t0 = Instant::now();
+    let cold = traffic_totals(&net, &schemes, 1, true);
+    let sweep_cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let warm = traffic_totals(&net, &schemes, 1, true);
+    let sweep_warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold, warm, "cached sweep must reproduce the cold sweep");
+    println!("traffic sweep (AlexNet@1/4, 4 schemes): cold {sweep_cold_ms:.2} ms, warm {sweep_warm_ms:.2} ms");
+
+    let speedup = |ms: &[f64]| ms[0] / ms[1].max(1e-9);
+    println!(
+        "encode+measure speedup threads=8 vs 1: {:.2}x (host has {host_threads} cores)",
+        (encode_ms[0] + measure_ms[0]) / (encode_ms[1] + measure_ms[1]).max(1e-9)
+    );
+
+    let json = format!(
+        r#"{{
+  "host": {{ "available_parallelism": {host_threads} }},
+  "config": {{
+    "values": {VALUES},
+    "group_size": {GROUP_SIZE},
+    "dtype": "i16",
+    "reps": {REPS},
+    "threads_compared": [{t0c}, {t1c}]
+  }},
+  "encode_ms": {{ "t{t0c}": {e0:.3}, "t{t1c}": {e1:.3}, "speedup": {es:.3} }},
+  "measure_ms": {{ "t{t0c}": {m0:.3}, "t{t1c}": {m1:.3}, "speedup": {ms_:.3} }},
+  "decode_ms": {d:.3},
+  "encoded_bits": {bits},
+  "compression_ratio": {ratio:.4},
+  "traffic_sweep_ms": {{ "cold": {sc:.3}, "warm": {sw:.3} }}
+}}
+"#,
+        t0c = THREADS[0],
+        t1c = THREADS[1],
+        e0 = encode_ms[0],
+        e1 = encode_ms[1],
+        es = speedup(&encode_ms),
+        m0 = measure_ms[0],
+        m1 = measure_ms[1],
+        ms_ = speedup(&measure_ms),
+        d = decode_ms,
+        bits = encoded.bit_len(),
+        ratio = encoded.bit_len() as f64 / tensor.container_bits() as f64,
+        sc = sweep_cold_ms,
+        sw = sweep_warm_ms,
+    );
+    std::fs::File::create(&out)?.write_all(json.as_bytes())?;
+    println!("wrote {out}");
+    Ok(())
+}

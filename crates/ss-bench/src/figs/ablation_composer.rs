@@ -20,7 +20,8 @@ use crate::{geomean, header, row};
 #[must_use]
 pub fn compare(model: &(dyn TensorSource + Sync), seed: u64) -> (f64, f64) {
     let cfg = SimConfig::default();
-    let cached = Cached::new(model);
+    let tensors = Cached::new(model);
+    let cached = crate::SharedStats::new(&tensors);
     let scheme = ShapeShifterScheme::default();
     let stripes = simulate(&cached, &Stripes::new(), &ProfileScheme, &cfg, seed);
     let no_composer = simulate(&cached, &SStripes::without_composer(), &scheme, &cfg, seed);

@@ -23,7 +23,8 @@ use crate::{header, row};
 #[must_use]
 pub fn shares(model: &(dyn TensorSource + Sync), seed: u64) -> ([f64; 4], [f64; 4], f64) {
     let cfg = SimConfig::default();
-    let cached = Cached::new(model);
+    let tensors = Cached::new(model);
+    let cached = crate::SharedStats::new(&tensors);
     let base = simulate(&cached, &SStripes::new(), &Base, &cfg, seed);
     let ss = simulate(
         &cached,

@@ -29,7 +29,8 @@ pub const BUFFER_KB: [u64; 5] = [4096, 1024, 512, 256, 128];
 pub fn sweep(model: &dyn TensorSource, seed: u64) -> Vec<(u64, f64, f64)> {
     let accel = SStripes::new();
     let scheme = ShapeShifterScheme::default();
-    let cached = Cached::new(model);
+    let tensors = Cached::new(model);
+    let cached = crate::SharedStats::new(&tensors);
     let run = |kb: u64, onchip: bool| {
         let cfg = SimConfig {
             buffers: Some(BufferConfig::symmetric(kb << 10)),

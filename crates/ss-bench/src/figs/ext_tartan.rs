@@ -24,7 +24,8 @@ use crate::{geomean, header, row};
 #[must_use]
 pub fn compare(model: &(dyn TensorSource + Sync), seed: u64) -> (f64, f64) {
     let cfg = SimConfig::default();
-    let cached = Cached::new(model);
+    let tensors = Cached::new(model);
+    let cached = crate::SharedStats::new(&tensors);
     let stripes = simulate(&cached, &Stripes::new(), &ProfileScheme, &cfg, seed);
     let tartan = simulate(&cached, &Tartan::new(), &ProfileScheme, &cfg, seed);
     let ss_tartan = simulate(

@@ -34,7 +34,8 @@ pub fn sweep(
     let base_cfg = SimConfig::with_dram(DramConfig::DDR4_2133);
     // Simulate once per scheme at the base node (sharing one tensor
     // generation pass via the cache); reprice the other nodes.
-    let cached = ss_sim::workload::Cached::new(model);
+    let tensors = ss_sim::workload::Cached::new(model);
+    let cached = crate::SharedStats::new(&tensors);
     let runs: Vec<_> = schemes
         .iter()
         .map(|s| simulate(&cached, accel, *s, &base_cfg, seed))

@@ -17,7 +17,8 @@ use crate::{geomean, header, row};
 pub fn compare(model: &(dyn TensorSource + Sync), seed: u64) -> (f64, f64) {
     let cfg = SimConfig::with_dram(DramConfig::DDR4_2133);
     let accel = Scnn::new();
-    let cached = ss_sim::workload::Cached::new(model);
+    let tensors = ss_sim::workload::Cached::new(model);
+    let cached = crate::SharedStats::new(&tensors);
     let rle = simulate(&cached, &accel, &ZeroRle::default(), &cfg, seed);
     let ss = simulate(&cached, &accel, &ShapeShifterScheme::default(), &cfg, seed);
     (

@@ -21,7 +21,8 @@ use crate::{geomean, header, row};
 #[must_use]
 pub fn pair(model: &(dyn TensorSource + Sync), seed: u64) -> (RunResult, RunResult) {
     let cfg = SimConfig::default(); // DDR4-3200
-    let cached = ss_sim::workload::Cached::new(model);
+    let tensors = ss_sim::workload::Cached::new(model);
+    let cached = crate::SharedStats::new(&tensors);
     let stripes = simulate(&cached, &Stripes::new(), &ProfileScheme, &cfg, seed);
     let sstripes = simulate(
         &cached,

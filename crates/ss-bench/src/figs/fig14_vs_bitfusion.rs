@@ -18,7 +18,8 @@ use crate::{geomean, header, row};
 #[must_use]
 pub fn compare(model: &(dyn TensorSource + Sync), seed: u64) -> (f64, f64) {
     let cfg = SimConfig::default();
-    let cached = ss_sim::workload::Cached::new(model);
+    let tensors = ss_sim::workload::Cached::new(model);
+    let cached = crate::SharedStats::new(&tensors);
     let bf = simulate(&cached, &BitFusion::new(), &ProfileScheme, &cfg, seed);
     let ss = simulate(
         &cached,

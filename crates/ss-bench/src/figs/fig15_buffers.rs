@@ -21,7 +21,8 @@ pub const BUFFER_MB: [u64; 6] = [32, 16, 8, 4, 2, 1];
 #[must_use]
 pub fn sweep(model: &dyn TensorSource, seed: u64) -> Vec<(u64, f64, f64)> {
     let accel = SStripes::new();
-    let cached = ss_sim::workload::Cached::new(model);
+    let tensors = ss_sim::workload::Cached::new(model);
+    let cached = crate::SharedStats::new(&tensors);
     let runs: Vec<(u64, u64, u64)> = BUFFER_MB
         .iter()
         .map(|&mb| {

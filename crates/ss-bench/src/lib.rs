@@ -16,9 +16,12 @@
 //! * `SS_INPUTS=k` — number of distinct inputs averaged per measurement.
 
 pub mod figs;
+pub mod stats_cache;
 pub mod suites;
 
 use std::env;
+
+pub use stats_cache::SharedStats;
 
 /// Geometry divisor from `SS_SCALE` (default 1 = full published size).
 #[must_use]
@@ -70,20 +73,32 @@ where
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }
+    // Work-stealing over an atomic counter; each worker accumulates
+    // (index, result) pairs locally so no lock is ever taken on the hot
+    // path, and the main thread scatters them back into input order.
+    let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = std::sync::Mutex::new(&mut results);
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                slots.lock().expect("no worker panicked holding the lock")[i] = Some(r);
-            });
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            for (i, r) in worker.join().expect("worker panicked") {
+                results[i] = Some(r);
+            }
         }
     });
     results
@@ -92,21 +107,14 @@ where
         .collect()
 }
 
-/// Worker threads for [`par_map`]: `SS_THREADS`, else the machine's
-/// available parallelism capped at a memory-conscious 4 (each in-flight
-/// model may cache hundreds of megabytes of tensors).
+/// Worker threads for [`par_map`]: `SS_THREADS`, else the machine's full
+/// available parallelism (one knob, shared with the codec's parallel
+/// encode — see [`ss_core::par::thread_count`]). Memory pressure from
+/// in-flight model caches is addressed by the shared statistics cache
+/// ([`stats_cache`]) rather than by capping threads.
 #[must_use]
 pub fn par_threads() -> usize {
-    env::var("SS_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-                .min(4)
-        })
+    ss_core::par::thread_count()
 }
 
 /// Geometric mean of strictly positive values (the paper's preferred

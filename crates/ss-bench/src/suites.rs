@@ -1,6 +1,6 @@
 //! Model suites as the paper's figures group them, with the `SS_SCALE`
-//! divisor applied, plus a shared traffic-pricing helper that generates
-//! each layer's tensors once and prices every scheme on them.
+//! divisor applied, plus a shared traffic-pricing helper that prices every
+//! scheme from each layer's shared one-pass statistics.
 
 use ss_core::scheme::{CompressionScheme, SchemeCtx};
 use ss_models::Network;
@@ -8,7 +8,7 @@ use ss_quant::{QuantMethod, QuantizedNetwork};
 use ss_sim::sim::MODEL_SEED;
 use ss_sim::TensorSource;
 
-use crate::scaled;
+use crate::{scaled, SharedStats};
 
 /// The 16-bit suite (Figure 8a left group, Figures 9–13).
 #[must_use]
@@ -56,8 +56,13 @@ pub fn suite_unprofiled_16b() -> Vec<Network> {
 }
 
 /// Per-model total off-chip traffic (weights + input/output activations
-/// of every layer, single-pass) in bits, priced under each scheme from a
-/// single tensor generation pass.
+/// of every layer, single-pass) in bits, priced under each scheme from
+/// each layer's **shared statistics** — one scan per operand, answered
+/// from the process-wide cache on every later call (other schemes, other
+/// figures, other seeds of the same run).
+///
+/// Schemes that cannot be priced from statistics fall back to a raw
+/// tensor, generated at most once per operand.
 ///
 /// Returns one total per scheme, in the order given. `profiled == false`
 /// models Figure 8b operation (the Profile scheme falls back to the
@@ -69,12 +74,13 @@ pub fn traffic_totals(
     input_seed: u64,
     profiled: bool,
 ) -> Vec<u64> {
+    let model = SharedStats::new(model);
     let mut totals = vec![0u64; schemes.len()];
     let num_layers = model.layers().len();
     for i in 0..num_layers {
-        let wgt = model.weight_tensor(i, MODEL_SEED);
-        let act_in = model.input_tensor(i, input_seed);
-        let act_out = model.output_tensor(i, input_seed);
+        let wgt_stats = model.weight_stats(i, MODEL_SEED);
+        let act_in_stats = model.input_stats(i, input_seed);
+        let act_out_stats = model.output_stats(i, input_seed);
         let ctx = |w: u8| {
             if profiled {
                 SchemeCtx::profiled(w)
@@ -85,10 +91,31 @@ pub fn traffic_totals(
         let a_ctx = ctx(model.profiled_act_width(i));
         let w_ctx = ctx(model.profiled_wgt_width(i));
         let o_ctx = ctx(model.profiled_act_width((i + 1).min(num_layers - 1)));
+        let mut wgt = None;
+        let mut act_in = None;
+        let mut act_out = None;
         for (t, scheme) in totals.iter_mut().zip(schemes) {
-            *t += scheme.compressed_bits(&act_in, &a_ctx)
-                + scheme.compressed_bits(&wgt, &w_ctx)
-                + scheme.compressed_bits(&act_out, &o_ctx);
+            let a = scheme
+                .compressed_bits_from_stats(&act_in_stats, &a_ctx)
+                .unwrap_or_else(|| {
+                    let tensor =
+                        act_in.get_or_insert_with(|| model.input_tensor(i, input_seed));
+                    scheme.compressed_bits(tensor, &a_ctx)
+                });
+            let w = scheme
+                .compressed_bits_from_stats(&wgt_stats, &w_ctx)
+                .unwrap_or_else(|| {
+                    let tensor = wgt.get_or_insert_with(|| model.weight_tensor(i, MODEL_SEED));
+                    scheme.compressed_bits(tensor, &w_ctx)
+                });
+            let o = scheme
+                .compressed_bits_from_stats(&act_out_stats, &o_ctx)
+                .unwrap_or_else(|| {
+                    let tensor =
+                        act_out.get_or_insert_with(|| model.output_tensor(i, input_seed));
+                    scheme.compressed_bits(tensor, &o_ctx)
+                });
+            *t += a + w + o;
         }
     }
     totals
@@ -109,5 +136,42 @@ mod tests {
         assert_eq!(t.len(), 3);
         // ShapeShifter must beat Base on the skewed zoo distributions.
         assert!(t[1] < t[0]);
+    }
+
+    #[test]
+    fn stats_path_equals_raw_tensor_pricing() {
+        let net = ss_models::zoo::alexnet().scaled_down(16);
+        let ss = ShapeShifterScheme::default();
+        let rle = ZeroRle::default();
+        let profile = ss_core::scheme::ProfileScheme;
+        let schemes: Vec<&dyn CompressionScheme> = vec![&Base, &ss, &rle, &profile];
+        for profiled in [true, false] {
+            let fast = traffic_totals(&net, &schemes, 2, profiled);
+            // The pre-stats reference: generate each layer's tensors and
+            // price them directly.
+            let mut slow = vec![0u64; schemes.len()];
+            let n = TensorSource::layers(&net).len();
+            for i in 0..n {
+                let wgt = TensorSource::weight_tensor(&net, i, MODEL_SEED);
+                let act_in = TensorSource::input_tensor(&net, i, 2);
+                let act_out = TensorSource::output_tensor(&net, i, 2);
+                let ctx = |w: u8| {
+                    if profiled {
+                        SchemeCtx::profiled(w)
+                    } else {
+                        SchemeCtx::unprofiled()
+                    }
+                };
+                let a_ctx = ctx(TensorSource::profiled_act_width(&net, i));
+                let w_ctx = ctx(TensorSource::profiled_wgt_width(&net, i));
+                let o_ctx = ctx(TensorSource::profiled_act_width(&net, (i + 1).min(n - 1)));
+                for (t, scheme) in slow.iter_mut().zip(&schemes) {
+                    *t += scheme.compressed_bits(&act_in, &a_ctx)
+                        + scheme.compressed_bits(&wgt, &w_ctx)
+                        + scheme.compressed_bits(&act_out, &o_ctx);
+                }
+            }
+            assert_eq!(fast, slow, "profiled={profiled}");
+        }
     }
 }

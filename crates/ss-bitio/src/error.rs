@@ -36,6 +36,13 @@ pub enum BitIoError {
         /// Total length of the stream in bits.
         len: u64,
     },
+    /// A spliced stream declared more bits than its byte buffer holds.
+    StreamTooShort {
+        /// The declared logical length in bits.
+        bit_len: u64,
+        /// The byte-buffer length that cannot back it.
+        bytes: usize,
+    },
 }
 
 impl fmt::Display for BitIoError {
@@ -56,6 +63,12 @@ impl fmt::Display for BitIoError {
             }
             BitIoError::SeekOutOfBounds { position, len } => {
                 write!(f, "seek to bit {position} is beyond stream length {len}")
+            }
+            BitIoError::StreamTooShort { bit_len, bytes } => {
+                write!(
+                    f,
+                    "stream declares {bit_len} bits but only {bytes} bytes are present"
+                )
             }
         }
     }

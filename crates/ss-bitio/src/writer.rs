@@ -140,6 +140,86 @@ impl BitWriter {
         Ok(pad)
     }
 
+    /// Splices a raw bit stream onto the end of this one.
+    ///
+    /// The first `bit_len` bits of `src` (LSB-first, the same packing this
+    /// writer produces) are appended starting at the current write position,
+    /// shifting every source byte by the current sub-byte phase. Bits of
+    /// `src`'s final partial byte above `bit_len` are ignored, so a buffer
+    /// produced by another [`BitWriter`] — whose tail bits are zero by
+    /// construction — splices exactly.
+    ///
+    /// This is the primitive that lets independently encoded chunks be
+    /// stitched into one canonical stream: each worker packs its groups into
+    /// a private writer, and the results are concatenated in order with no
+    /// per-chunk alignment, exactly as if a single writer had produced the
+    /// whole stream.
+    ///
+    /// # Errors
+    ///
+    /// [`BitIoError::StreamTooShort`] if `src` holds fewer than `bit_len`
+    /// bits. The writer is unchanged on error.
+    pub fn append_bits(&mut self, src: &[u8], bit_len: u64) -> Result<(), BitIoError> {
+        let needed = bit_len.div_ceil(8) as usize;
+        if src.len() < needed {
+            return Err(BitIoError::StreamTooShort {
+                bit_len,
+                bytes: src.len(),
+            });
+        }
+        if bit_len == 0 {
+            return Ok(());
+        }
+        let src = &src[..needed];
+        let tail_bits = (bit_len % 8) as u32;
+        let tail_mask: u8 = if tail_bits == 0 {
+            0xFF
+        } else {
+            (1u8 << tail_bits) - 1
+        };
+
+        let phase = (self.bit_len % 8) as u32;
+        self.bytes.reserve(src.len() + 1);
+        if phase == 0 {
+            // Byte-aligned: a plain copy, masking the final partial byte so
+            // the above-`bit_len` invariant (tail bits are zero) holds.
+            self.bytes.extend_from_slice(src);
+            let last = self.bytes.last_mut().expect("non-empty after extend");
+            *last &= tail_mask;
+        } else {
+            // Each source byte contributes its low bits to the current
+            // partial byte and its high bits to a fresh one.
+            let carry_shift = 8 - phase;
+            for (i, &raw) in src.iter().enumerate() {
+                let b = if i + 1 == src.len() { raw & tail_mask } else { raw };
+                *self.bytes.last_mut().expect("partial byte exists") |= b << phase;
+                self.bytes.push(b >> carry_shift);
+            }
+        }
+        self.bit_len += bit_len;
+        // The loop above may leave one surplus byte holding only
+        // above-`bit_len` zeros; restore `bytes.len() == ceil(bit_len / 8)`.
+        self.bytes.truncate(self.bit_len.div_ceil(8) as usize);
+        Ok(())
+    }
+
+    /// Splices another writer's stream onto the end of this one.
+    ///
+    /// Equivalent to `append_bits(other.as_bytes(), other.bit_len())`, with a
+    /// cheap buffer take-over when `self` is still empty.
+    ///
+    /// # Errors
+    ///
+    /// Never fails — `other` upholds the length invariant by construction —
+    /// but shares the fallible signature for uniform `?`-chaining.
+    pub fn append_writer(&mut self, other: BitWriter) -> Result<(), BitIoError> {
+        if self.bit_len == 0 && self.bytes.capacity() < other.bytes.len() {
+            *self = other;
+            return Ok(());
+        }
+        self.append_bits(&other.bytes, other.bit_len)
+    }
+
     /// Consumes the writer and returns the packed bytes. Trailing bits of the
     /// final partial byte are zero.
     #[must_use]
@@ -235,6 +315,122 @@ mod tests {
         assert_eq!(w.bit_len(), 130);
         assert_eq!(w.as_bytes().len(), 17);
         assert!(w.as_bytes().iter().all(|&b| b == 0));
+    }
+
+    /// Oracle for splicing: write `a_bits` then `b_bits` through one writer.
+    fn sequential_oracle(a: &[(u64, u32)], b: &[(u64, u32)]) -> BitWriter {
+        let mut w = BitWriter::new();
+        for &(v, n) in a.iter().chain(b) {
+            w.write_bits(v, n).unwrap();
+        }
+        w
+    }
+
+    /// Splice variant: `a` and `b` written to separate writers, then joined.
+    fn spliced(a: &[(u64, u32)], b: &[(u64, u32)]) -> BitWriter {
+        let mut wa = BitWriter::new();
+        for &(v, n) in a {
+            wa.write_bits(v, n).unwrap();
+        }
+        let mut wb = BitWriter::new();
+        for &(v, n) in b {
+            wb.write_bits(v, n).unwrap();
+        }
+        wa.append_writer(wb).unwrap();
+        wa
+    }
+
+    #[test]
+    fn append_at_every_phase_offset() {
+        // Left stream lengths 0..=8 cover every sub-byte phase including the
+        // aligned boundary; right stream crosses multiple bytes.
+        for phase in 0u32..=8 {
+            let a = [(0b1_0110_101u64 & ((1 << phase.max(1)) - 1), phase)];
+            let a: &[(u64, u32)] = if phase == 0 { &[] } else { &a };
+            let b: &[(u64, u32)] = &[(0x2B, 6), (0x1FF, 9), (0x0, 3), (0x5A5A, 15)];
+            let want = sequential_oracle(a, b);
+            let got = spliced(a, b);
+            assert_eq!(got, want, "phase {phase}");
+            assert_eq!(got.bit_len(), u64::from(phase) + 33);
+        }
+    }
+
+    #[test]
+    fn append_empty_streams() {
+        // Empty onto empty.
+        let mut w = BitWriter::new();
+        w.append_writer(BitWriter::new()).unwrap();
+        assert!(w.is_empty());
+        // Empty onto non-empty, at aligned and unaligned phases.
+        for bits in [3u32, 8] {
+            let mut w = BitWriter::new();
+            w.write_bits(0b101 & ((1 << bits) - 1), bits).unwrap();
+            let before = w.clone();
+            w.append_writer(BitWriter::new()).unwrap();
+            assert_eq!(w, before, "appending empty must be identity");
+        }
+        // Non-empty onto empty takes the buffer over unchanged.
+        let mut src = BitWriter::new();
+        src.write_bits(0xABC, 12).unwrap();
+        let mut w = BitWriter::new();
+        w.append_writer(src.clone()).unwrap();
+        assert_eq!(w, src);
+    }
+
+    #[test]
+    fn append_multi_word_payloads() {
+        // Both sides longer than 64 bits, forcing carries across many bytes.
+        let a: Vec<(u64, u32)> = (0..5)
+            .map(|i| ((0x9E37_79B9 ^ i) & ((1 << 29) - 1), 29))
+            .collect();
+        let b: Vec<(u64, u32)> = (0..7)
+            .map(|i| ((0xDEAD_BEEF_CAFE ^ (i << 7)) & ((1 << 47) - 1), 47))
+            .collect();
+        let want = sequential_oracle(&a, &b);
+        let got = spliced(&a, &b);
+        assert_eq!(got, want);
+        assert_eq!(got.bit_len(), 5 * 29 + 7 * 47);
+    }
+
+    #[test]
+    fn append_bits_masks_dirty_tail_and_checks_length() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1).unwrap();
+        // 3 declared bits, but the raw byte has garbage above them.
+        w.append_bits(&[0b1111_1010], 3).unwrap();
+        assert_eq!(w.bit_len(), 4);
+        assert_eq!(w.as_bytes(), &[0b0101]);
+        // Tail invariant held: further writes see clean upper bits.
+        w.write_bits(0xF, 4).unwrap();
+        assert_eq!(w.into_bytes(), vec![0b1111_0101]);
+
+        let mut w = BitWriter::new();
+        assert_eq!(
+            w.append_bits(&[0xFF], 9),
+            Err(BitIoError::StreamTooShort { bit_len: 9, bytes: 1 })
+        );
+        assert!(w.is_empty(), "failed append must not corrupt the stream");
+    }
+
+    #[test]
+    fn chained_appends_match_single_writer() {
+        // Three chunks with deliberately awkward lengths: 13 + 1 + 75 bits.
+        let chunks: [&[(u64, u32)]; 3] = [
+            &[(0x1ABC & 0x1FFF, 13)],
+            &[(1, 1)],
+            &[(u64::MAX, 64), (0x7FF, 11)],
+        ];
+        let mut want = BitWriter::new();
+        let mut got = BitWriter::new();
+        for chunk in chunks {
+            let mut part = BitWriter::new();
+            for &(v, n) in chunk {
+                want.write_bits(v, n).unwrap();
+                part.write_bits(v, n).unwrap();
+            }
+            got.append_writer(part).unwrap();
+        }
+        assert_eq!(got, want);
     }
 
     #[test]

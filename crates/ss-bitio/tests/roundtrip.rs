@@ -58,6 +58,50 @@ proptest! {
     }
 
     #[test]
+    fn splicing_at_arbitrary_cuts_matches_sequential(
+        fields in prop::collection::vec(field(), 0..200),
+        cut_a in any::<prop::sample::Index>(),
+        cut_b in any::<prop::sample::Index>(),
+    ) {
+        // One stream written straight through...
+        let mut want = BitWriter::new();
+        for &(v, b) in &fields {
+            want.write_bits(v, b).unwrap();
+        }
+        // ...must equal the same fields written as three independent chunks
+        // spliced together, whatever bit phases the cut points land on.
+        let (lo, hi) = if fields.is_empty() {
+            (0, 0)
+        } else {
+            let (a, b) = (cut_a.index(fields.len() + 1), cut_b.index(fields.len() + 1));
+            (a.min(b), a.max(b))
+        };
+        let mut got = BitWriter::new();
+        for chunk in [&fields[..lo], &fields[lo..hi], &fields[hi..]] {
+            let mut part = BitWriter::new();
+            for &(v, b) in chunk {
+                part.write_bits(v, b).unwrap();
+            }
+            got.append_writer(part).unwrap();
+        }
+        prop_assert_eq!(&got, &want);
+
+        // The raw-slice form must agree with the writer form.
+        let mut raw = BitWriter::new();
+        for &(v, b) in &fields[..lo] {
+            raw.write_bits(v, b).unwrap();
+        }
+        let rest_bits = want.bit_len() - raw.bit_len();
+        let mut tail = BitWriter::new();
+        for &(v, b) in &fields[lo..] {
+            tail.write_bits(v, b).unwrap();
+        }
+        let tail_bytes = tail.into_bytes();
+        raw.append_bits(&tail_bytes, rest_bits).unwrap();
+        prop_assert_eq!(&raw, &want);
+    }
+
+    #[test]
     fn bits_for_matches_naive(v in any::<u64>()) {
         let mut naive = 0u32;
         let mut x = v;

@@ -3,7 +3,19 @@
 use ss_bitio::{BitReader, BitWriter};
 use ss_tensor::{width, FixedType, Shape, Signedness, Tensor};
 
-use crate::{CodecError, WidthDetector};
+use crate::{par, CodecError, WidthDetector};
+
+/// Below this many values the automatic paths stay sequential: spawning and
+/// splicing costs more than the encode itself on small tensors.
+const PARALLEL_MIN_VALUES: usize = 1 << 16;
+
+/// One worker's contribution to a parallel encode.
+struct ChunkStream {
+    w: BitWriter,
+    groups: usize,
+    metadata_bits: u64,
+    payload_bits: u64,
+}
 
 /// Lossless per-group codec for the ShapeShifter off-chip container.
 ///
@@ -65,21 +77,109 @@ impl ShapeShifterCodec {
 
     /// Encodes a tensor into a ShapeShifter stream.
     ///
+    /// Large tensors are encoded in parallel: the tensor is cut on group
+    /// boundaries, each chunk is encoded by a scoped worker thread into its
+    /// own [`BitWriter`], and the chunk streams are spliced back in order.
+    /// Because groups are self-contained (paper §3) and splicing preserves
+    /// every bit phase, the output is **bit-identical** to a sequential
+    /// encode — the sequential path remains both the small-tensor fast path
+    /// and the oracle the property tests compare against. The worker count
+    /// comes from [`par::thread_count`] (`SS_THREADS` or the machine's
+    /// available parallelism).
+    ///
     /// # Errors
     ///
     /// Propagates [`CodecError::Stream`] on internal bit-packing failures
     /// (unreachable for valid tensors, by the tensor's container
     /// invariant).
     pub fn encode(&self, tensor: &Tensor) -> Result<EncodedTensor, CodecError> {
+        let threads = if tensor.len() < PARALLEL_MIN_VALUES {
+            1
+        } else {
+            par::thread_count()
+        };
+        self.encode_with_threads(tensor, threads)
+    }
+
+    /// [`ShapeShifterCodec::encode`] with an explicit worker count.
+    ///
+    /// `threads == 1` is the pure sequential path; any higher count
+    /// parallelizes regardless of tensor size (no small-tensor heuristic),
+    /// which is what the bit-identity tests and the perf baseline need.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShapeShifterCodec::encode`].
+    pub fn encode_with_threads(
+        &self,
+        tensor: &Tensor,
+        threads: usize,
+    ) -> Result<EncodedTensor, CodecError> {
         let dtype = tensor.dtype();
+        let values = tensor.values();
+        let capacity_hint = tensor.container_bits() / 2;
+        let chunk_values = par::chunk_values(values.len(), self.group_size, threads.max(1));
+
+        let chunk = if values.len() <= chunk_values {
+            // One worker would get everything: skip the scope entirely.
+            self.encode_chunk(values, dtype, capacity_hint)?
+        } else {
+            let chunks: Vec<&[i32]> = values.chunks(chunk_values).collect();
+            let mut slots: Vec<Option<Result<ChunkStream, CodecError>>> = Vec::new();
+            slots.resize_with(chunks.len(), || None);
+            let per_chunk_hint = capacity_hint / chunks.len() as u64;
+            std::thread::scope(|s| {
+                for (slot, chunk) in slots.iter_mut().zip(&chunks) {
+                    s.spawn(move || {
+                        *slot = Some(self.encode_chunk(chunk, dtype, per_chunk_hint));
+                    });
+                }
+            });
+            let mut merged = ChunkStream {
+                w: BitWriter::with_capacity_bits(capacity_hint),
+                groups: 0,
+                metadata_bits: 0,
+                payload_bits: 0,
+            };
+            for slot in slots {
+                let part = slot.expect("scope joins every worker")?;
+                merged.groups += part.groups;
+                merged.metadata_bits += part.metadata_bits;
+                merged.payload_bits += part.payload_bits;
+                merged.w.append_writer(part.w)?;
+            }
+            merged
+        };
+
+        Ok(EncodedTensor {
+            bit_len: chunk.w.bit_len(),
+            bytes: chunk.w.into_bytes(),
+            len: tensor.len(),
+            dtype,
+            group_size: self.group_size,
+            groups: chunk.groups,
+            metadata_bits: chunk.metadata_bits,
+            payload_bits: chunk.payload_bits,
+        })
+    }
+
+    /// Sequentially encodes one group-aligned slice of values — the body
+    /// shared by the sequential path and every parallel worker.
+    fn encode_chunk(
+        &self,
+        values: &[i32],
+        dtype: FixedType,
+        capacity_hint: u64,
+    ) -> Result<ChunkStream, CodecError> {
         let det = WidthDetector::new(dtype.bits(), dtype.signedness());
         let prefix_bits = u32::from(det.prefix_bits());
-        let mut w = BitWriter::with_capacity_bits(tensor.container_bits() / 2);
+        let signed = matches!(dtype.signedness(), Signedness::Signed);
+        let mut w = BitWriter::with_capacity_bits(capacity_hint);
         let mut groups = 0usize;
         let mut metadata_bits = 0u64;
         let mut payload_bits = 0u64;
 
-        for group in tensor.groups(self.group_size)? {
+        for group in values.chunks(self.group_size) {
             groups += 1;
             // Z vector: 1 marks a zero value (written in 64-bit chunks so
             // group sizes up to 256 are supported).
@@ -96,20 +196,17 @@ impl ShapeShifterCodec {
             w.write_bits(u64::from(det.detect_encoded(group)), prefix_bits)?;
             metadata_bits += group.len() as u64 + u64::from(prefix_bits);
             for &v in group.iter().filter(|&&v| v != 0) {
-                let enc = match dtype.signedness() {
-                    Signedness::Unsigned => v as u64,
-                    Signedness::Signed => u64::from(width::to_sign_magnitude(v)),
+                let enc = if signed {
+                    u64::from(width::to_sign_magnitude(v))
+                } else {
+                    v as u64
                 };
                 w.write_bits(enc, u32::from(p))?;
                 payload_bits += u64::from(p);
             }
         }
-        Ok(EncodedTensor {
-            bit_len: w.bit_len(),
-            bytes: w.into_bytes(),
-            len: tensor.len(),
-            dtype,
-            group_size: self.group_size,
+        Ok(ChunkStream {
+            w,
             groups,
             metadata_bits,
             payload_bits,
@@ -124,18 +221,56 @@ impl ShapeShifterCodec {
     ///
     /// Returns `(metadata_bits, payload_bits, groups)`.
     ///
+    /// Parallelizes over group-aligned chunks exactly like
+    /// [`ShapeShifterCodec::encode`]; per-chunk sums are order-independent,
+    /// so the totals match the sequential scan (and `encode`) exactly.
+    ///
     /// # Panics
     ///
     /// Never panics for a valid tensor.
     #[must_use]
     pub fn measure(&self, tensor: &Tensor) -> (u64, u64, usize) {
-        let signedness = tensor.signedness();
-        let det = WidthDetector::new(tensor.dtype().bits(), signedness);
+        let threads = if tensor.len() < PARALLEL_MIN_VALUES {
+            1
+        } else {
+            par::thread_count()
+        };
+        self.measure_with_threads(tensor, threads)
+    }
+
+    /// [`ShapeShifterCodec::measure`] with an explicit worker count
+    /// (`threads == 1` is the pure sequential scan).
+    #[must_use]
+    pub fn measure_with_threads(&self, tensor: &Tensor, threads: usize) -> (u64, u64, usize) {
+        let dtype = tensor.dtype();
+        let values = tensor.values();
+        let chunk_values = par::chunk_values(values.len(), self.group_size, threads.max(1));
+        if values.len() <= chunk_values {
+            return self.measure_chunk(values, dtype);
+        }
+        let chunks: Vec<&[i32]> = values.chunks(chunk_values).collect();
+        let mut slots = vec![(0u64, 0u64, 0usize); chunks.len()];
+        std::thread::scope(|s| {
+            for (slot, chunk) in slots.iter_mut().zip(&chunks) {
+                s.spawn(move || {
+                    *slot = self.measure_chunk(chunk, dtype);
+                });
+            }
+        });
+        slots.into_iter().fold((0, 0, 0), |(m, p, g), (cm, cp, cg)| {
+            (m + cm, p + cp, g + cg)
+        })
+    }
+
+    /// Sequential measurement of one group-aligned slice.
+    fn measure_chunk(&self, values: &[i32], dtype: FixedType) -> (u64, u64, usize) {
+        let signedness = dtype.signedness();
+        let det = WidthDetector::new(dtype.bits(), signedness);
         let prefix_bits = u64::from(det.prefix_bits());
         let mut metadata = 0u64;
         let mut payload = 0u64;
         let mut groups = 0usize;
-        for group in tensor.values().chunks(self.group_size) {
+        for group in values.chunks(self.group_size) {
             groups += 1;
             metadata += group.len() as u64 + prefix_bits;
             let w = u64::from(width::group_width(group, signedness));
@@ -145,6 +280,18 @@ impl ShapeShifterCodec {
     }
 
     /// Decodes a ShapeShifter stream back into the original tensor.
+    ///
+    /// Decoding is **sequential by stream design** and deliberately stays
+    /// that way while encode parallelizes: a group's start position in the
+    /// stream is only known after the previous group's `Z` vector and `P`
+    /// prefix have been parsed (groups are packed back-to-back with no
+    /// alignment or chunk index — paper §3: "the incoming stream will be
+    /// decoded sequentially"). Splitting decode across threads would
+    /// require either a speculative scan to discover chunk offsets (a full
+    /// sequential parse anyway) or storing per-chunk offsets in the
+    /// container, which would change the stream format and its traffic
+    /// accounting. The hardware decompressor has the same property and
+    /// pipelines *within* the stream instead (Figure 6d).
     ///
     /// # Errors
     ///
@@ -199,22 +346,21 @@ impl ShapeShifterCodec {
         }
         let det = WidthDetector::new(dtype.bits(), dtype.signedness());
         let prefix_bits = u32::from(det.prefix_bits());
+        // Hoisted out of the per-value loop: the signedness of the stream
+        // is a property of the container, not of any value.
+        let signed = matches!(dtype.signedness(), Signedness::Signed);
         let mut r = BitReader::with_bit_len(bytes, bit_len);
         let mut data: Vec<i32> = Vec::with_capacity(len);
         let mut group_idx = 0usize;
 
-        let mut zbits: Vec<bool> = Vec::with_capacity(self.group_size);
+        // Z vector as packed 64-bit words (group_size <= 256 -> 4 words),
+        // read straight off the stream with no per-bit buffer traffic.
+        let mut zwords = [0u64; 4];
         while data.len() < len {
             let group_len = (len - data.len()).min(self.group_size);
-            zbits.clear();
-            let mut remaining = group_len;
-            while remaining > 0 {
-                let take = remaining.min(64);
-                let z = r.read_bits(take as u32)?;
-                for i in 0..take {
-                    zbits.push(z >> i & 1 == 1);
-                }
-                remaining -= take;
+            for (word, start) in zwords.iter_mut().zip((0..group_len).step_by(64)) {
+                let take = (group_len - start).min(64);
+                *word = r.read_bits(take as u32)?;
             }
             let p = r.read_bits(prefix_bits)? as u8 + 1;
             if p > dtype.bits() {
@@ -224,14 +370,15 @@ impl ShapeShifterCodec {
                     container: dtype.bits(),
                 });
             }
-            for &is_zero in zbits.iter().take(group_len) {
-                if is_zero {
+            for i in 0..group_len {
+                if zwords[i >> 6] >> (i & 63) & 1 == 1 {
                     data.push(0);
                 } else {
                     let raw = r.read_bits(u32::from(p))?;
-                    let v = match dtype.signedness() {
-                        Signedness::Unsigned => raw as i32,
-                        Signedness::Signed => width::from_sign_magnitude(raw as u32),
+                    let v = if signed {
+                        width::from_sign_magnitude(raw as u32)
+                    } else {
+                        raw as i32
                     };
                     if !dtype.contains(v) || v == 0 {
                         // A payload slot decoding to zero is corrupt: zeros
@@ -499,6 +646,27 @@ mod tests {
             assert_eq!(payload, enc.payload_bits(), "group {group}");
             assert_eq!(groups, enc.groups(), "group {group}");
             assert_eq!(meta + payload, enc.bit_len(), "group {group}");
+        }
+    }
+
+    #[test]
+    fn automatic_parallel_path_matches_sequential_oracle() {
+        // Large enough to clear PARALLEL_MIN_VALUES so encode()/measure()
+        // take the parallel route on multi-core hosts; awkward length so
+        // the final chunk ends in a partial group.
+        let vals: Vec<i32> = (0..(PARALLEL_MIN_VALUES + 1037))
+            .map(|i| ((i * 2_654_435_761) % 4001) as i32 - 2000)
+            .collect();
+        let tensor = t(FixedType::I16, vals);
+        for group in [16usize, 256] {
+            let codec = ShapeShifterCodec::new(group);
+            let auto = codec.encode(&tensor).unwrap();
+            let oracle = codec.encode_with_threads(&tensor, 1).unwrap();
+            assert_eq!(auto, oracle, "group {group}");
+            let forced = codec.encode_with_threads(&tensor, 8).unwrap();
+            assert_eq!(forced, oracle, "group {group}");
+            assert_eq!(codec.measure(&tensor), codec.measure_with_threads(&tensor, 8));
+            assert_eq!(codec.decode(&forced).unwrap(), tensor);
         }
     }
 

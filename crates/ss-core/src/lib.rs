@@ -48,6 +48,7 @@ mod codec;
 pub mod decompressor;
 mod detector;
 mod error;
+pub mod par;
 pub mod scheme;
 
 pub use codec::{EncodedTensor, ShapeShifterCodec};

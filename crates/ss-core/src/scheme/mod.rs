@@ -24,7 +24,7 @@ pub use profile::ProfileScheme;
 pub use shapeshifter::ShapeShifterScheme;
 pub use zero_rle::ZeroRle;
 
-use ss_tensor::Tensor;
+use ss_tensor::{Tensor, TensorStats};
 
 /// Per-tensor context a scheme may consult.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -61,6 +61,22 @@ pub trait CompressionScheme {
     /// Exact compressed size of `tensor` in bits, including all metadata.
     fn compressed_bits(&self, tensor: &Tensor, ctx: &SchemeCtx) -> u64;
 
+    /// Exact compressed size from precomputed [`TensorStats`], without the
+    /// raw values, when the scheme can be priced that way.
+    ///
+    /// The experiment harness prices the same multi-million-value layer
+    /// under every scheme for every figure; schemes that are pure functions
+    /// of the width/zero statistics answer from the shared one-pass
+    /// [`TensorStats`] instead of re-scanning values. Must equal
+    /// [`CompressionScheme::compressed_bits`] on the tensor the stats were
+    /// computed from whenever it returns `Some`. The default returns
+    /// `None` (scheme needs the raw values, or the stats lack a required
+    /// grouping granularity) and callers fall back to the tensor path.
+    fn compressed_bits_from_stats(&self, stats: &TensorStats, ctx: &SchemeCtx) -> Option<u64> {
+        let _ = (stats, ctx);
+        None
+    }
+
     /// Compression ratio relative to the uncompressed container
     /// (lower is better; 1.0 means no gain).
     fn ratio(&self, tensor: &Tensor, ctx: &SchemeCtx) -> f64 {
@@ -82,6 +98,10 @@ impl CompressionScheme for Base {
 
     fn compressed_bits(&self, tensor: &Tensor, _ctx: &SchemeCtx) -> u64 {
         tensor.container_bits()
+    }
+
+    fn compressed_bits_from_stats(&self, stats: &TensorStats, _ctx: &SchemeCtx) -> Option<u64> {
+        Some(stats.container_bits())
     }
 }
 

@@ -1,7 +1,7 @@
 //! The per-layer Profile compression baseline (Judd et al., Proteus,
 //! ICS 2016) — what the paper's "Profile" bars report.
 
-use ss_tensor::Tensor;
+use ss_tensor::{Tensor, TensorStats};
 
 use crate::scheme::{CompressionScheme, SchemeCtx};
 
@@ -36,6 +36,14 @@ impl CompressionScheme for ProfileScheme {
             .max(tensor.profiled_width())
             .min(tensor.dtype().bits());
         tensor.len() as u64 * u64::from(width) + LAYER_METADATA_BITS
+    }
+
+    fn compressed_bits_from_stats(&self, stats: &TensorStats, ctx: &SchemeCtx) -> Option<u64> {
+        let profiled = ctx.profiled_width.unwrap_or(stats.dtype().bits());
+        let width = profiled
+            .max(stats.profiled_width())
+            .min(stats.dtype().bits());
+        Some(stats.len() as u64 * u64::from(width) + LAYER_METADATA_BITS)
     }
 }
 

@@ -1,10 +1,10 @@
 //! ShapeShifter as an off-chip compression scheme (the paper's first
 //! hardware technique, §3).
 
-use ss_tensor::Tensor;
+use ss_tensor::{Tensor, TensorStats};
 
 use crate::scheme::{CompressionScheme, SchemeCtx};
-use crate::ShapeShifterCodec;
+use crate::{ShapeShifterCodec, WidthDetector};
 
 /// The ShapeShifter memory container as a traffic scheme: per-group
 /// dynamic width with zero elision, reported with exact bit accounting
@@ -63,6 +63,15 @@ impl CompressionScheme for ShapeShifterScheme {
     fn compressed_bits(&self, tensor: &Tensor, _ctx: &SchemeCtx) -> u64 {
         let (metadata, payload, _groups) = self.codec.measure(tensor);
         ARRAY_FLAG_BITS + (metadata + payload).min(tensor.container_bits())
+    }
+
+    fn compressed_bits_from_stats(&self, stats: &TensorStats, _ctx: &SchemeCtx) -> Option<u64> {
+        // Only answerable when the stats were computed at this scheme's
+        // grouping granularity; otherwise fall back to the tensor path.
+        let det = WidthDetector::new(stats.dtype().bits(), stats.dtype().signedness());
+        let (metadata, payload, _groups) =
+            stats.shapeshifter_bits(self.codec.group_size(), det.prefix_bits())?;
+        Some(ARRAY_FLAG_BITS + (metadata + payload).min(stats.container_bits()))
     }
 }
 

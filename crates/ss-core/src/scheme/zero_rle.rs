@@ -1,7 +1,7 @@
 //! Zero run-length compression as used by Eyeriss and SCNN — the
 //! paper's "Zero compression" bars.
 
-use ss_tensor::Tensor;
+use ss_tensor::{Tensor, TensorStats};
 
 use crate::scheme::{CompressionScheme, SchemeCtx};
 
@@ -84,6 +84,13 @@ impl CompressionScheme for ZeroRle {
     fn compressed_bits(&self, tensor: &Tensor, _ctx: &SchemeCtx) -> u64 {
         self.token_count(tensor.values())
             * (u64::from(self.run_bits) + u64::from(tensor.dtype().bits()))
+    }
+
+    fn compressed_bits_from_stats(&self, stats: &TensorStats, _ctx: &SchemeCtx) -> Option<u64> {
+        Some(
+            stats.zero_rle_tokens(self.max_run())
+                * (u64::from(self.run_bits) + u64::from(stats.dtype().bits())),
+        )
     }
 }
 

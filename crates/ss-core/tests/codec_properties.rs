@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use ss_core::scheme::{Base, CompressionScheme, ProfileScheme, SchemeCtx, ShapeShifterScheme, ZeroRle};
 use ss_core::{ShapeShifterCodec, WidthDetector};
-use ss_tensor::{width, FixedType, Shape, Signedness, Tensor};
+use ss_tensor::{width, FixedType, Shape, Signedness, Tensor, TensorStats};
 
 /// Strategy producing a tensor with a skewed (mostly-small, some zeros,
 /// rare large) value distribution over an arbitrary container.
@@ -41,6 +41,76 @@ proptest! {
         let enc = codec.encode(&t).unwrap();
         let back = codec.decode(&enc).unwrap();
         prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn parallel_encode_is_bit_identical_to_sequential(
+        t in arb_tensor(),
+        group in 1usize..=256,
+    ) {
+        // The tentpole invariant: chunked workers + splicing must produce
+        // the exact stream the sequential oracle produces — same bytes,
+        // same bit length, same accounting — for every thread count the
+        // harness uses (SS_THREADS in {1, 2, 8}).
+        let codec = ShapeShifterCodec::new(group);
+        let oracle = codec.encode_with_threads(&t, 1).unwrap();
+        for threads in [2usize, 8] {
+            let par = codec.encode_with_threads(&t, threads).unwrap();
+            prop_assert_eq!(par.bytes(), oracle.bytes(), "threads {}", threads);
+            prop_assert_eq!(par.bit_len(), oracle.bit_len());
+            prop_assert_eq!(par.metadata_bits(), oracle.metadata_bits());
+            prop_assert_eq!(par.payload_bits(), oracle.payload_bits());
+            prop_assert_eq!(par.groups(), oracle.groups());
+        }
+    }
+
+    #[test]
+    fn measure_matches_encode_under_parallelism(
+        t in arb_tensor(),
+        group in 1usize..=256,
+    ) {
+        let codec = ShapeShifterCodec::new(group);
+        let enc = codec.encode_with_threads(&t, 8).unwrap();
+        for threads in [1usize, 2, 8] {
+            let (meta, payload, groups) = codec.measure_with_threads(&t, threads);
+            prop_assert_eq!(meta, enc.metadata_bits(), "threads {}", threads);
+            prop_assert_eq!(payload, enc.payload_bits());
+            prop_assert_eq!(groups, enc.groups());
+            prop_assert_eq!(meta + payload, enc.bit_len());
+        }
+    }
+
+    #[test]
+    fn stats_pricing_matches_tensor_pricing(t in arb_tensor(), profiled in 0u8..=20) {
+        // The shared-statistics fast path must be *exact*: for every scheme
+        // that answers from TensorStats, the answer equals re-scanning the
+        // raw values, profiled or not.
+        let stats = TensorStats::compute(&t, &[16, 256]);
+        let ctxs = [SchemeCtx::unprofiled(), SchemeCtx::profiled(profiled)];
+        let schemes: [&dyn CompressionScheme; 5] = [
+            &Base,
+            &ProfileScheme,
+            &ShapeShifterScheme::default(),
+            &ShapeShifterScheme::new(256),
+            &ZeroRle::default(),
+        ];
+        for ctx in &ctxs {
+            for scheme in schemes {
+                let from_stats = scheme.compressed_bits_from_stats(&stats, ctx);
+                prop_assert_eq!(
+                    from_stats,
+                    Some(scheme.compressed_bits(&t, ctx)),
+                    "scheme {} ctx {:?}",
+                    scheme.name(),
+                    ctx
+                );
+            }
+        }
+        // A granularity the stats don't cover falls back to None.
+        prop_assert_eq!(
+            ShapeShifterScheme::new(64).compressed_bits_from_stats(&stats, &ctxs[0]),
+            None
+        );
     }
 
     #[test]

@@ -212,14 +212,39 @@ impl RunResult {
     }
 }
 
+/// A tensor generated only if some consumer actually needs the raw values
+/// (a scheme or width the shared statistics cannot answer).
+struct LazyTensor<'a> {
+    cell: std::cell::OnceCell<ss_tensor::Tensor>,
+    make: Box<dyn Fn() -> ss_tensor::Tensor + 'a>,
+}
+
+impl<'a> LazyTensor<'a> {
+    fn new(make: impl Fn() -> ss_tensor::Tensor + 'a) -> Self {
+        Self {
+            cell: std::cell::OnceCell::new(),
+            make: Box::new(make),
+        }
+    }
+
+    fn get(&self) -> &ss_tensor::Tensor {
+        self.cell.get_or_init(|| (self.make)())
+    }
+}
+
 /// Simulates one input through a model on an accelerator with an off-chip
 /// compression scheme.
 ///
-/// Per layer: weights, input and output activations are generated, the
-/// scheme prices their off-chip footprint (times the tiling pass counts
-/// the buffers impose), DRAM bandwidth turns traffic into cycles, the
-/// accelerator's law turns MACs and widths into cycles, and the energy
-/// model prices all of it. Wall-clock is `max(compute, memory)` per layer.
+/// Per layer: the shared one-pass statistics of weights, input and output
+/// activations (see [`TensorSource::weight_stats`]) supply everything the
+/// models consume — scheme pricing, container bits, effective widths at
+/// the sync group, zero fractions. Raw tensors are generated lazily, only
+/// when a scheme cannot price from statistics (or the sync group falls
+/// outside [`crate::workload::STAT_GROUP_SIZES`]). The scheme prices each
+/// operand's off-chip footprint (times the tiling pass counts the buffers
+/// impose), DRAM bandwidth turns traffic into cycles, the accelerator's
+/// law turns MACs and widths into cycles, and the energy model prices all
+/// of it. Wall-clock is `max(compute, memory)` per layer.
 pub fn simulate(
     model: &dyn TensorSource,
     accel: &dyn Accelerator,
@@ -236,9 +261,12 @@ pub fn simulate(
 
     for i in 0..num_layers {
         let layer = &model.layers()[i];
-        let wgt = model.weight_tensor(i, MODEL_SEED);
-        let act_in = model.input_tensor(i, input_seed);
-        let act_out = model.output_tensor(i, input_seed);
+        let wgt_stats = model.weight_stats(i, MODEL_SEED);
+        let act_in_stats = model.input_stats(i, input_seed);
+        let act_out_stats = model.output_stats(i, input_seed);
+        let wgt = LazyTensor::new(move || model.weight_tensor(i, MODEL_SEED));
+        let act_in = LazyTensor::new(move || model.input_tensor(i, input_seed));
+        let act_out = LazyTensor::new(move || model.output_tensor(i, input_seed));
 
         let act_ctx = SchemeCtx::profiled(model.profiled_act_width(i));
         let wgt_ctx = SchemeCtx::profiled(model.profiled_wgt_width(i));
@@ -246,9 +274,14 @@ pub fn simulate(
             model.profiled_act_width((i + 1).min(num_layers - 1)),
         );
 
-        let act_in_c = scheme.compressed_bits(&act_in, &act_ctx);
-        let wgt_c = scheme.compressed_bits(&wgt, &wgt_ctx);
-        let act_out_c = scheme.compressed_bits(&act_out, &out_ctx);
+        let price = |stats: &ss_tensor::TensorStats, lazy: &LazyTensor<'_>, ctx: &SchemeCtx| {
+            scheme
+                .compressed_bits_from_stats(stats, ctx)
+                .unwrap_or_else(|| scheme.compressed_bits(lazy.get(), ctx))
+        };
+        let act_in_c = price(&act_in_stats, &act_in, &act_ctx);
+        let wgt_c = price(&wgt_stats, &wgt, &wgt_ctx);
+        let act_out_c = price(&act_out_stats, &act_out, &out_ctx);
 
         let passes = if cfg.onchip_compression {
             let r = |compressed: u64, raw: u64| {
@@ -256,38 +289,45 @@ pub fn simulate(
             };
             LayerPasses::for_layer_with_onchip_ratio(
                 &buffers,
-                act_in.container_bits(),
-                wgt.container_bits(),
-                r(act_in_c, act_in.container_bits()),
-                r(wgt_c, wgt.container_bits()),
+                act_in_stats.container_bits(),
+                wgt_stats.container_bits(),
+                r(act_in_c, act_in_stats.container_bits()),
+                r(wgt_c, wgt_stats.container_bits()),
             )
         } else {
-            LayerPasses::for_layer(&buffers, act_in.container_bits(), wgt.container_bits())
+            LayerPasses::for_layer(
+                &buffers,
+                act_in_stats.container_bits(),
+                wgt_stats.container_bits(),
+            )
         };
         let traffic = passes.act_reads * act_in_c + passes.wgt_reads * wgt_c + act_out_c;
-        let base_traffic = passes.act_reads * act_in.container_bits()
-            + passes.wgt_reads * wgt.container_bits()
-            + act_out.container_bits();
+        let base_traffic = passes.act_reads * act_in_stats.container_bits()
+            + passes.wgt_reads * wgt_stats.container_bits()
+            + act_out_stats.container_bits();
         let memory_cycles = cfg.dram.cycles_for_bits(traffic, cfg.clock_hz);
 
+        let eff_sync = |stats: &ss_tensor::TensorStats, lazy: &LazyTensor<'_>| {
+            stats
+                .effective_width(cfg.sync_group)
+                .unwrap_or_else(|| lazy.get().effective_width(cfg.sync_group))
+        };
         let signals = LayerSignals {
             macs: layer.macs(),
             act_container: model.act_dtype().bits(),
             wgt_container: model.weight_dtype().bits(),
             act_profiled: model.profiled_act_width(i),
             wgt_profiled: model.profiled_wgt_width(i),
-            act_eff_sync: act_in.effective_width(cfg.sync_group),
-            wgt_eff_sync: wgt.effective_width(cfg.sync_group),
-            act_nonzero: nonzero_fraction(&act_in),
-            wgt_nonzero: nonzero_fraction(&wgt),
+            act_eff_sync: eff_sync(&act_in_stats, &act_in),
+            wgt_eff_sync: eff_sync(&wgt_stats, &wgt),
+            act_nonzero: act_in_stats.nonzero_fraction(),
+            wgt_nonzero: wgt_stats.nonzero_fraction(),
             weight_reuse: layer.macs() / (layer.weight_count() as u64).max(1),
         };
         let compute_cycles = accel.compute_cycles(&signals);
 
         let stall = memory_cycles.saturating_sub(compute_cycles);
-        let sram_bits = passes.act_reads * act_in.container_bits()
-            + passes.wgt_reads * wgt.container_bits()
-            + act_out.container_bits();
+        let sram_bits = base_traffic;
         let energy = EnergyBreakdown {
             dram_pj: traffic as f64 * cfg.energy.dram_pj_per_bit,
             sram_pj: sram_bits as f64 * cfg.energy.sram_pj_per_bit,
@@ -310,14 +350,6 @@ pub fn simulate(
         accel: accel.name().to_string(),
         scheme: scheme.name().to_string(),
         layers,
-    }
-}
-
-fn nonzero_fraction(t: &ss_tensor::Tensor) -> f64 {
-    if t.is_empty() {
-        1.0
-    } else {
-        t.num_nonzero() as f64 / t.len() as f64
     }
 }
 

@@ -3,10 +3,17 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ss_models::{Layer, Network};
 use ss_quant::QuantizedNetwork;
-use ss_tensor::{FixedType, Tensor};
+use ss_tensor::{FixedType, Tensor, TensorStats};
+
+/// Grouping granularities every shared [`TensorStats`] is computed at: the
+/// paper's memory-container group (16) and the compute-synchronization
+/// group (256). Covering both lets one statistics pass serve the traffic
+/// schemes and the bit-serial cycle models alike.
+pub const STAT_GROUP_SIZES: [usize; 2] = [16, 256];
 
 /// Anything that can supply per-layer tensors to a simulator.
 ///
@@ -43,6 +50,36 @@ pub trait TensorSource {
 
     /// Profile-derived width of `layer`'s weights.
     fn profiled_wgt_width(&self, layer: usize) -> u8;
+
+    /// One-pass statistics of `layer`'s weights at [`STAT_GROUP_SIZES`].
+    ///
+    /// Everything the traffic schemes and cycle models need (width
+    /// histograms, zero counts and runs, per-group aggregates) from a
+    /// single scan. The default computes fresh each call; [`Cached`]
+    /// memoizes per `(layer, seed)` so one computation serves every scheme
+    /// and figure that prices the layer.
+    fn weight_stats(&self, layer: usize, model_seed: u64) -> Arc<TensorStats> {
+        Arc::new(TensorStats::compute(
+            &self.weight_tensor(layer, model_seed),
+            &STAT_GROUP_SIZES,
+        ))
+    }
+
+    /// One-pass statistics of `layer`'s input activations for one input.
+    fn input_stats(&self, layer: usize, input_seed: u64) -> Arc<TensorStats> {
+        Arc::new(TensorStats::compute(
+            &self.input_tensor(layer, input_seed),
+            &STAT_GROUP_SIZES,
+        ))
+    }
+
+    /// One-pass statistics of `layer`'s output activations for one input.
+    fn output_stats(&self, layer: usize, input_seed: u64) -> Arc<TensorStats> {
+        Arc::new(TensorStats::compute(
+            &self.output_tensor(layer, input_seed),
+            &STAT_GROUP_SIZES,
+        ))
+    }
 }
 
 impl TensorSource for Network {
@@ -149,6 +186,9 @@ pub struct Cached<'a> {
     weights: RefCell<HashMap<(usize, u64), Tensor>>,
     inputs: RefCell<HashMap<(usize, u64), Tensor>>,
     outputs: RefCell<HashMap<(usize, u64), Tensor>>,
+    weight_stats: RefCell<HashMap<(usize, u64), Arc<TensorStats>>>,
+    input_stats: RefCell<HashMap<(usize, u64), Arc<TensorStats>>>,
+    output_stats: RefCell<HashMap<(usize, u64), Arc<TensorStats>>>,
 }
 
 impl std::fmt::Debug for Cached<'_> {
@@ -158,6 +198,11 @@ impl std::fmt::Debug for Cached<'_> {
             .field("weights_cached", &self.weights.borrow().len())
             .field("inputs_cached", &self.inputs.borrow().len())
             .field("outputs_cached", &self.outputs.borrow().len())
+            .field("stats_cached", &{
+                self.weight_stats.borrow().len()
+                    + self.input_stats.borrow().len()
+                    + self.output_stats.borrow().len()
+            })
             .finish()
     }
 }
@@ -171,6 +216,9 @@ impl<'a> Cached<'a> {
             weights: RefCell::new(HashMap::new()),
             inputs: RefCell::new(HashMap::new()),
             outputs: RefCell::new(HashMap::new()),
+            weight_stats: RefCell::new(HashMap::new()),
+            input_stats: RefCell::new(HashMap::new()),
+            output_stats: RefCell::new(HashMap::new()),
         }
     }
 }
@@ -223,6 +271,49 @@ impl TensorSource for Cached<'_> {
     fn profiled_wgt_width(&self, layer: usize) -> u8 {
         self.inner.profiled_wgt_width(layer)
     }
+
+    // Statistics memoize independently of the tensors: a sweep that only
+    // needs widths and zero counts never materializes (or retains) the
+    // multi-million-value tensors at all.
+
+    fn weight_stats(&self, layer: usize, model_seed: u64) -> Arc<TensorStats> {
+        self.weight_stats
+            .borrow_mut()
+            .entry((layer, model_seed))
+            .or_insert_with(|| {
+                Arc::new(TensorStats::compute(
+                    &self.inner.weight_tensor(layer, model_seed),
+                    &STAT_GROUP_SIZES,
+                ))
+            })
+            .clone()
+    }
+
+    fn input_stats(&self, layer: usize, input_seed: u64) -> Arc<TensorStats> {
+        self.input_stats
+            .borrow_mut()
+            .entry((layer, input_seed))
+            .or_insert_with(|| {
+                Arc::new(TensorStats::compute(
+                    &self.inner.input_tensor(layer, input_seed),
+                    &STAT_GROUP_SIZES,
+                ))
+            })
+            .clone()
+    }
+
+    fn output_stats(&self, layer: usize, input_seed: u64) -> Arc<TensorStats> {
+        self.output_stats
+            .borrow_mut()
+            .entry((layer, input_seed))
+            .or_insert_with(|| {
+                Arc::new(TensorStats::compute(
+                    &self.inner.output_tensor(layer, input_seed),
+                    &STAT_GROUP_SIZES,
+                ))
+            })
+            .clone()
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +344,26 @@ mod tests {
         for i in 0..net.layers().len() {
             assert_eq!(TensorSource::profiled_act_width(&tf, i), 8);
             assert_eq!(TensorSource::profiled_wgt_width(&tf, i), 8);
+        }
+    }
+
+    #[test]
+    fn cached_stats_match_fresh_and_are_shared() {
+        let net = zoo::alexnet().scaled_down(8);
+        let cached = Cached::new(&net);
+        let a = cached.weight_stats(0, 0);
+        let b = cached.weight_stats(0, 0);
+        // Same Arc: computed once, shared thereafter.
+        assert!(Arc::ptr_eq(&a, &b));
+        // And identical to an uncached computation.
+        assert_eq!(*a, *TensorSource::weight_stats(&net, 0, 0));
+        let i = cached.input_stats(0, 3);
+        assert_eq!(*i, *TensorSource::input_stats(&net, 0, 3));
+        let o = cached.output_stats(0, 3);
+        assert_eq!(*o, *TensorSource::output_stats(&net, 0, 3));
+        // The stats cover both canonical granularities.
+        for g in STAT_GROUP_SIZES {
+            assert!(a.group(g).is_some());
         }
     }
 

@@ -39,6 +39,7 @@ mod dtype;
 mod error;
 mod group;
 mod shape;
+pub mod stats;
 mod tensor;
 pub mod width;
 
@@ -46,4 +47,5 @@ pub use dtype::{FixedType, Signedness};
 pub use error::TensorError;
 pub use group::GroupIter;
 pub use shape::Shape;
+pub use stats::{GroupStats, TensorStats};
 pub use tensor::Tensor;

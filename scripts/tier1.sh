@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, full test suite, lint, and the codec
+# performance baseline (time report only — the numbers are recorded in
+# BENCH_codec.json but never gate the run; thread-scaling ratios depend on
+# the host's core count).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --all-targets -- -D warnings
+
+echo
+echo "== perf baseline (informational) =="
+cargo run --release -q -p ss-bench --bin perf_baseline

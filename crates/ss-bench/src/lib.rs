@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Experiment harness: regenerates every table and figure of the
@@ -56,9 +57,9 @@ pub fn scaled(net: ss_models::Network) -> ss_models::Network {
 
 /// Maps `f` over `items` on up to [`par_threads`] scoped threads,
 /// preserving input order. The per-model measurements of every figure are
-/// independent, so the harness fans them out; thread count is bounded
-/// because each in-flight model may cache hundreds of megabytes of
-/// tensors.
+/// independent, so the harness fans them out. The implementation lives in
+/// [`ss_core::par::par_map`] — the workspace's single thread-spawning
+/// module — and this wrapper only supplies the harness's thread policy.
 ///
 /// # Panics
 ///
@@ -69,42 +70,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = par_threads().min(items.len().max(1));
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    // Work-stealing over an atomic counter; each worker accumulates
-    // (index, result) pairs locally so no lock is ever taken on the hot
-    // path, and the main thread scatters them back into input order.
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-    results.resize_with(items.len(), || None);
-    std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        local.push((i, f(&items[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for worker in workers {
-            for (i, r) in worker.join().expect("worker panicked") {
-                results[i] = Some(r);
-            }
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot was filled"))
-        .collect()
+    ss_core::par::par_map(items, par_threads(), f)
 }
 
 /// Worker threads for [`par_map`]: `SS_THREADS`, else the machine's full

@@ -13,6 +13,10 @@
 //! at different `SS_SCALE` geometries (some extension figures sweep scale
 //! in-process) can never alias.
 
+// ss-lint: allow-file(concurrency-containment) -- init-once process-wide cache; the lock
+// guards a HashMap insert/lookup only and is never held across tensor generation, so it
+// cannot deadlock with the par_map workers that call into it.
+
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 

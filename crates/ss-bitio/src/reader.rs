@@ -136,16 +136,30 @@ impl<'a> BitReader<'a> {
         }
         let mut out: u64 = 0;
         let mut got: u32 = 0;
+        // Advance a local cursor and commit at the end, so no failure path
+        // can leave the reader partially advanced.
+        let mut pos = self.pos;
         while got < bits {
-            let byte_idx = (self.pos / 8) as usize;
-            let bit_off = (self.pos % 8) as u32;
+            let byte_idx = (pos / 8) as usize;
+            let bit_off = (pos % 8) as u32;
             let take = (bits - got).min(8 - bit_off);
-            let mask = ((1u16 << take) - 1) as u8;
-            let chunk = (self.bytes[byte_idx] >> bit_off) & mask;
+            // `take` is in 1..=8, so the shift stays in range for u8.
+            let mask = 0xFFu8 >> (8 - take);
+            let Some(&byte) = self.bytes.get(byte_idx) else {
+                // Unreachable: the remaining_bits guard bounds `pos` by
+                // `bit_len <= bytes.len() * 8`. Kept as a typed error so a
+                // future bug cannot turn into an out-of-bounds panic.
+                return Err(BitIoError::UnexpectedEnd {
+                    requested: bits,
+                    available: self.remaining_bits(),
+                });
+            };
+            let chunk = (byte >> bit_off) & mask;
             out |= u64::from(chunk) << got;
             got += take;
-            self.pos += u64::from(take);
+            pos += u64::from(take);
         }
+        self.pos = pos;
         Ok(out)
     }
 

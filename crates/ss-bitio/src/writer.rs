@@ -78,15 +78,20 @@ impl BitWriter {
         let mut remaining = bits;
         let mut value = value;
         while remaining > 0 {
-            let byte_idx = (self.bit_len / 8) as usize;
             let bit_off = (self.bit_len % 8) as u32;
-            if byte_idx == self.bytes.len() {
+            // The buffer invariant `bytes.len() == ceil(bit_len / 8)` means
+            // the write lands in the last byte, which exists once the
+            // byte-aligned case has pushed a fresh one.
+            if bit_off == 0 {
                 self.bytes.push(0);
             }
             let take = remaining.min(8 - bit_off);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = 0xFFu64 >> (8 - take);
+            // ss-lint: allow(truncating-cast) -- masked to `take` <= 8 bits on the line above
             let chunk = (value & mask) as u8;
-            self.bytes[byte_idx] |= chunk << bit_off;
+            if let Some(last) = self.bytes.last_mut() {
+                *last |= chunk << bit_off;
+            }
             value >>= take;
             remaining -= take;
             self.bit_len += u64::from(take);
@@ -161,16 +166,15 @@ impl BitWriter {
     /// bits. The writer is unchanged on error.
     pub fn append_bits(&mut self, src: &[u8], bit_len: u64) -> Result<(), BitIoError> {
         let needed = bit_len.div_ceil(8) as usize;
-        if src.len() < needed {
+        let Some(src) = src.get(..needed) else {
             return Err(BitIoError::StreamTooShort {
                 bit_len,
                 bytes: src.len(),
             });
-        }
+        };
         if bit_len == 0 {
             return Ok(());
         }
-        let src = &src[..needed];
         let tail_bits = (bit_len % 8) as u32;
         let tail_mask: u8 = if tail_bits == 0 {
             0xFF
@@ -183,16 +187,23 @@ impl BitWriter {
         if phase == 0 {
             // Byte-aligned: a plain copy, masking the final partial byte so
             // the above-`bit_len` invariant (tail bits are zero) holds.
+            // `src` is non-empty here (`bit_len > 0`), so the buffer is
+            // non-empty after the extend and the `if let` always runs.
             self.bytes.extend_from_slice(src);
-            let last = self.bytes.last_mut().expect("non-empty after extend");
-            *last &= tail_mask;
+            if let Some(last) = self.bytes.last_mut() {
+                *last &= tail_mask;
+            }
         } else {
             // Each source byte contributes its low bits to the current
-            // partial byte and its high bits to a fresh one.
+            // partial byte and its high bits to a fresh one. A non-zero
+            // phase means `bit_len % 8 != 0`, so a partial last byte
+            // exists and the `if let` always runs.
             let carry_shift = 8 - phase;
             for (i, &raw) in src.iter().enumerate() {
                 let b = if i + 1 == src.len() { raw & tail_mask } else { raw };
-                *self.bytes.last_mut().expect("partial byte exists") |= b << phase;
+                if let Some(last) = self.bytes.last_mut() {
+                    *last |= b << phase;
+                }
                 self.bytes.push(b >> carry_shift);
             }
         }
@@ -345,7 +356,7 @@ mod tests {
         // Left stream lengths 0..=8 cover every sub-byte phase including the
         // aligned boundary; right stream crosses multiple bytes.
         for phase in 0u32..=8 {
-            let a = [(0b1_0110_101u64 & ((1 << phase.max(1)) - 1), phase)];
+            let a = [(0b1011_0101_u64 & ((1 << phase.max(1)) - 1), phase)];
             let a: &[(u64, u32)] = if phase == 0 { &[] } else { &a };
             let b: &[(u64, u32)] = &[(0x2B, 6), (0x1FF, 9), (0x0, 3), (0x5A5A, 15)];
             let want = sequential_oracle(a, b);

@@ -1,3 +1,7 @@
+// Tests may unwrap/expect freely: a panic here is a test failure, not a
+// product-code defect (the workspace clippy lints exempt test code).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Property tests: any sequence of (value, width) fields written with
 //! `BitWriter` reads back bit-exactly with `BitReader`, regardless of how
 //! fields straddle byte boundaries. This is the foundational invariant the

@@ -3,7 +3,7 @@
 use ss_bitio::{BitReader, BitWriter};
 use ss_tensor::{width, FixedType, Shape, Signedness, Tensor};
 
-use crate::{par, CodecError, WidthDetector};
+use crate::{checked, par, CodecError, WidthDetector};
 
 /// Below this many values the automatic paths stay sequential: spawning and
 /// splicing costs more than the encode itself on small tensors.
@@ -121,19 +121,13 @@ impl ShapeShifterCodec {
         let chunk_values = par::chunk_values(values.len(), self.group_size, threads.max(1));
 
         let chunk = if values.len() <= chunk_values {
-            // One worker would get everything: skip the scope entirely.
+            // One worker would get everything: skip the workers entirely.
             self.encode_chunk(values, dtype, capacity_hint)?
         } else {
-            let chunks: Vec<&[i32]> = values.chunks(chunk_values).collect();
-            let mut slots: Vec<Option<Result<ChunkStream, CodecError>>> = Vec::new();
-            slots.resize_with(chunks.len(), || None);
-            let per_chunk_hint = capacity_hint / chunks.len() as u64;
-            std::thread::scope(|s| {
-                for (slot, chunk) in slots.iter_mut().zip(&chunks) {
-                    s.spawn(move || {
-                        *slot = Some(self.encode_chunk(chunk, dtype, per_chunk_hint));
-                    });
-                }
+            let chunk_count = values.len().div_ceil(chunk_values);
+            let per_chunk_hint = capacity_hint / chunk_count as u64;
+            let parts = par::scoped_map(values, chunk_values, |chunk| {
+                self.encode_chunk(chunk, dtype, per_chunk_hint)
             });
             let mut merged = ChunkStream {
                 w: BitWriter::with_capacity_bits(capacity_hint),
@@ -141,8 +135,8 @@ impl ShapeShifterCodec {
                 metadata_bits: 0,
                 payload_bits: 0,
             };
-            for slot in slots {
-                let part = slot.expect("scope joins every worker")?;
+            for part in parts {
+                let part = part?;
                 merged.groups += part.groups;
                 merged.metadata_bits += part.metadata_bits;
                 merged.payload_bits += part.payload_bits;
@@ -248,16 +242,11 @@ impl ShapeShifterCodec {
         if values.len() <= chunk_values {
             return self.measure_chunk(values, dtype);
         }
-        let chunks: Vec<&[i32]> = values.chunks(chunk_values).collect();
-        let mut slots = vec![(0u64, 0u64, 0usize); chunks.len()];
-        std::thread::scope(|s| {
-            for (slot, chunk) in slots.iter_mut().zip(&chunks) {
-                s.spawn(move || {
-                    *slot = self.measure_chunk(chunk, dtype);
-                });
-            }
-        });
-        slots.into_iter().fold((0, 0, 0), |(m, p, g), (cm, cp, cg)| {
+        par::scoped_map(values, chunk_values, |chunk| {
+            self.measure_chunk(chunk, dtype)
+        })
+        .into_iter()
+        .fold((0, 0, 0), |(m, p, g), (cm, cp, cg)| {
             (m + cm, p + cp, g + cg)
         })
     }
@@ -298,6 +287,8 @@ impl ShapeShifterCodec {
     /// * [`CodecError::Stream`] if the stream is truncated.
     /// * [`CodecError::WidthExceedsContainer`] / [`CodecError::CorruptValue`]
     ///   if the stream's contents are inconsistent with its metadata.
+    /// * [`CodecError::TrailingBits`] if the declared element count is
+    ///   reached with stream bits left unconsumed.
     pub fn decode(&self, encoded: &EncodedTensor) -> Result<Tensor, CodecError> {
         let codec = ShapeShifterCodec::new(encoded.group_size);
         let data = codec.decode_stream(
@@ -362,6 +353,8 @@ impl ShapeShifterCodec {
                 let take = (group_len - start).min(64);
                 *word = r.read_bits(take as u32)?;
             }
+            // The P field stores width-1 in at most 5 bits.
+            // ss-lint: allow(truncating-cast) -- prefix field is <= 5 bits wide, value <= 31
             let p = r.read_bits(prefix_bits)? as u8 + 1;
             if p > dtype.bits() {
                 return Err(CodecError::WidthExceedsContainer {
@@ -370,28 +363,48 @@ impl ShapeShifterCodec {
                     container: dtype.bits(),
                 });
             }
-            for i in 0..group_len {
-                if zwords[i >> 6] >> (i & 63) & 1 == 1 {
-                    data.push(0);
-                } else {
-                    let raw = r.read_bits(u32::from(p))?;
-                    let v = if signed {
-                        width::from_sign_magnitude(raw as u32)
+            let mut payloads = 0usize;
+            for (word_idx, word) in zwords.iter().enumerate() {
+                let start = word_idx * 64;
+                if start >= group_len {
+                    break;
+                }
+                let take = (group_len - start).min(64);
+                for bit in 0..take {
+                    if word >> bit & 1 == 1 {
+                        data.push(0);
                     } else {
-                        raw as i32
-                    };
-                    if !dtype.contains(v) || v == 0 {
-                        // A payload slot decoding to zero is corrupt: zeros
-                        // travel in Z, never in the payload.
-                        return Err(CodecError::CorruptValue {
-                            index: data.len(),
-                            value: v,
-                        });
+                        let raw = r.read_bits(u32::from(p))?;
+                        let v = if signed {
+                            width::from_sign_magnitude(raw as u32)
+                        } else {
+                            raw as i32
+                        };
+                        if !dtype.contains(v) || v == 0 {
+                            // A payload slot decoding to zero is corrupt:
+                            // zeros travel in Z, never in the payload.
+                            return Err(CodecError::CorruptValue {
+                                index: data.len(),
+                                value: v,
+                            });
+                        }
+                        checked::canonical_payload(raw, v, p, signed, data.len());
+                        data.push(v);
+                        payloads += 1;
                     }
-                    data.push(v);
                 }
             }
+            checked::group_invariants(&zwords, group_len, payloads, p, dtype.bits(), group_idx);
             group_idx += 1;
+        }
+        // A well-formed container is consumed exactly: its framing metadata
+        // (bit length + element count) and its group contents agree. This is
+        // a hard typed error, not a debug assertion, because hostile streams
+        // can reach it and the decoder must never panic on input.
+        if !r.is_at_end() {
+            return Err(CodecError::TrailingBits {
+                remaining: r.remaining_bits(),
+            });
         }
         Ok(data)
     }

@@ -93,6 +93,7 @@ impl WidthDetector {
     /// [`WidthDetector::detect_encoded`] gives the wire encoding.
     #[must_use]
     pub fn detect(&self, group: &[i32]) -> u8 {
+        // ss-lint: allow(truncating-cast) -- 32 - leading_zeros of a u32 is in 0..=32
         (32 - self.or_signals(group).leading_zeros()) as u8
     }
 
@@ -110,6 +111,7 @@ impl WidthDetector {
     #[must_use]
     pub fn prefix_bits(&self) -> u8 {
         // Widths 1..=container are encoded as width-1 -> ceil(log2(P)).
+        // ss-lint: allow(truncating-cast) -- leading_zeros of a u8 operand is in 0..=8
         (8 - (self.container_bits - 1).leading_zeros() as u8).max(1)
     }
 }

@@ -34,6 +34,14 @@ pub enum CodecError {
     Tensor(TensorError),
     /// A group size of zero was requested.
     InvalidGroupSize,
+    /// The stream holds more bits than the declared element count can
+    /// account for: decoding produced every value with bits left over.
+    /// A well-formed container consumes its stream exactly, so trailing
+    /// bits mean the framing metadata and the stream disagree.
+    TrailingBits {
+        /// Unconsumed bits left in the stream after the last value.
+        remaining: u64,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -53,6 +61,10 @@ impl fmt::Display for CodecError {
             }
             CodecError::Tensor(e) => write!(f, "tensor reconstruction failed: {e}"),
             CodecError::InvalidGroupSize => write!(f, "group size must be non-zero"),
+            CodecError::TrailingBits { remaining } => write!(
+                f,
+                "stream has {remaining} unconsumed bit(s) after the declared element count"
+            ),
         }
     }
 }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 //! ShapeShifter: fine-grain per-group data width adaptation (MICRO 2019).
@@ -44,6 +46,7 @@
 //! ```
 
 pub mod analysis;
+mod checked;
 mod codec;
 pub mod decompressor;
 mod detector;

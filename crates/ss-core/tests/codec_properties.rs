@@ -1,3 +1,7 @@
+// Tests may unwrap/expect freely: a panic here is a test failure, not a
+// product-code defect (the workspace clippy lints exempt test code).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 //! Property tests for the ShapeShifter codec and schemes: losslessness,
 //! the "never increases traffic" claim, and cross-checks between the
 //! hardware detector model and the arithmetic width definitions.

@@ -1,0 +1,14 @@
+//! Seeded malformed annotations for the `annotation` meta-rule. Never
+//! compiled. Each directive below fails to parse in a different way.
+
+// ss-lint: allow(panic-freedom)
+pub fn missing_reason() {}
+
+// ss-lint: allow(not-a-rule) -- the rule id does not exist
+pub fn unknown_rule() {}
+
+// ss-lint: allowing(panic-freedom) -- wrong verb
+pub fn bad_verb() {}
+
+// ss-lint: allow(panic-freedom -- unterminated rule id
+pub fn missing_paren() {}

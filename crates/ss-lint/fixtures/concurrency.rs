@@ -1,0 +1,9 @@
+//! Seeded violations for the `concurrency-containment` rule: thread and
+//! lock primitives outside `ss-core::par`. Never compiled.
+
+pub fn rogue() -> u32 {
+    let guard = std::sync::Mutex::new(7u32);
+    let handle = std::thread::spawn(move || 0u32);
+    let joined = handle.join().unwrap_or(0);
+    joined + *guard.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,12 @@
+//! Seeded violations for the `panic-freedom` rule. Never compiled; the
+//! self-test mounts this file at a hot-path location and expects one
+//! diagnostic per construct below.
+
+pub fn hot(values: &[u64]) -> u64 {
+    let first = values.first().unwrap();
+    let second = values.get(1).expect("second value");
+    if *first > 64 {
+        panic!("width out of range");
+    }
+    first + second + values[2]
+}

@@ -1,0 +1,6 @@
+//! Seeded violation for the `unsafe-wall` rule: a crate root that is
+//! missing `#![forbid(unsafe_code)]`. Never compiled.
+#![warn(missing_docs)]
+
+/// Does nothing.
+pub fn noop() {}

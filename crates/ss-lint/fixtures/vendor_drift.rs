@@ -1,0 +1,9 @@
+//! Seeded violations for the `vendor-drift` rule: product code importing
+//! a vendored stand-in crate. Never compiled.
+
+use rand::Rng;
+
+pub fn sample() -> u64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    rng.gen()
+}

@@ -1,0 +1,180 @@
+//! Diagnostics and report rendering (human and JSON).
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (`panic-freedom`, `unsafe-wall`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found and why it matters.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// The outcome of a lint pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every violation found, in deterministic (file, line) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// Number of allow-annotations honored across the workspace.
+    pub allows_honored: usize,
+    /// Ids of the rules that ran.
+    pub rules_run: Vec<&'static str>,
+}
+
+impl Report {
+    /// `true` when no rule fired.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Sorts diagnostics into deterministic (file, line, rule) order.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// Renders the report for terminals: one `file:line [rule] message`
+    /// block per finding plus a summary line.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}:{}: [{}] {}", d.file, d.line, d.rule, d.message);
+            if !d.snippet.is_empty() {
+                let _ = writeln!(out, "    | {}", d.snippet);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "ss-lint: {} violation(s) across {} file(s); {} rule(s) run, {} allow annotation(s) honored",
+            self.diagnostics.len(),
+            self.files_scanned,
+            self.rules_run.len(),
+            self.allows_honored,
+        );
+        out
+    }
+
+    /// Renders the report as a single JSON object (no external deps; the
+    /// writer escapes everything it emits).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"snippet\": {}}}",
+                json_str(d.rule),
+                json_str(&d.file),
+                d.line,
+                json_str(&d.message),
+                json_str(&d.snippet),
+            );
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"files_scanned\": {},\n  \"allows_honored\": {},\n  \"rules_run\": [",
+            self.files_scanned, self.allows_honored
+        );
+        for (i, r) in self.rules_run.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(r));
+        }
+        out.push_str("],\n  \"clean\": ");
+        out.push_str(if self.is_clean() { "true" } else { "false" });
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            diagnostics: vec![Diagnostic {
+                rule: "panic-freedom",
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 7,
+                message: "call to `.unwrap()` in a hot-path module".to_string(),
+                snippet: "let v = map.get(&k).unwrap();".to_string(),
+            }],
+            files_scanned: 3,
+            allows_honored: 1,
+            rules_run: vec!["panic-freedom"],
+        }
+    }
+
+    #[test]
+    fn human_output_has_span_and_summary() {
+        let text = sample().render_human();
+        assert!(text.contains("crates/x/src/lib.rs:7: [panic-freedom]"));
+        assert!(text.contains("1 violation(s)"));
+    }
+
+    #[test]
+    fn json_output_is_escaped_and_flagged_dirty() {
+        let mut r = sample();
+        r.diagnostics[0].snippet = "quote \" and \\ slash".to_string();
+        let json = r.render_json();
+        assert!(json.contains(r#""clean": false"#));
+        assert!(json.contains(r#"quote \" and \\ slash"#));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        assert!(r.render_json().contains(r#""clean": true"#));
+    }
+
+    #[test]
+    fn sort_orders_by_file_then_line() {
+        let mut r = sample();
+        let mut d2 = r.diagnostics[0].clone();
+        d2.line = 2;
+        r.diagnostics.push(d2);
+        r.sort();
+        assert_eq!(r.diagnostics[0].line, 2);
+    }
+}

@@ -1,0 +1,130 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `ss-lint`: the ShapeShifter workspace invariant linter.
+//!
+//! The Section 3 container is lossless by construction — `Z` bit-vector,
+//! `log2(P)` width prefix, sign-magnitude payload — and PR 1 made encode
+//! and measure multi-threaded. Those guarantees only hold if the software
+//! enforces them mechanically: a single silent panic, truncating cast or
+//! splice-ordering bug now corrupts streams at scale. This crate is a
+//! self-contained static-analysis pass (pure source scanning, no rustc
+//! plugin) that checks the workspace-wide invariants at lint time:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `panic-freedom` | hot-path modules never `unwrap`/`expect`/`panic!`/index |
+//! | `unsafe-wall` | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `truncating-cast` | narrowing casts in width arithmetic carry range proofs |
+//! | `concurrency-containment` | threads and locks live only in `ss-core::par` |
+//! | `vendor-drift` | vendored stand-ins stay in dev-dependencies/test code |
+//! | `annotation` | (meta) every allow-annotation parses and names a real rule |
+//!
+//! Violations that are structurally impossible are suppressed in place —
+//! see [`annot`] for the `// ss-lint: allow(<rule>) -- <reason>` grammar.
+//! Diagnostics carry `file:line` spans and render as human text or JSON
+//! ([`diag`]). Every rule ships a seeded fixture under `fixtures/` and a
+//! self-test ([`selftest`]) proving the rule still fires on it.
+//!
+//! # Running
+//!
+//! ```text
+//! cargo run -p ss-lint                   # lint the workspace, exit 1 on violations
+//! cargo run -p ss-lint -- --format json  # machine-readable report
+//! cargo run -p ss-lint -- --self-test    # run every rule against its fixture
+//! cargo run -p ss-lint -- --fixture panic-freedom   # lint one seeded fixture (exits 1)
+//! ```
+
+pub mod annot;
+pub mod diag;
+pub mod lex;
+pub mod rules;
+pub mod selftest;
+pub mod workspace;
+
+use std::path::Path;
+
+use diag::{Diagnostic, Report};
+use workspace::Workspace;
+
+/// Lints an already-loaded workspace with every registry rule plus the
+/// `annotation` meta-rule, returning a sorted report.
+#[must_use]
+pub fn lint(ws: &Workspace) -> Report {
+    let rules = rules::registry();
+    let mut report = Report {
+        files_scanned: ws.files.len(),
+        ..Report::default()
+    };
+    for rule in &rules {
+        report.rules_run.push(rule.id());
+        rule.check(ws, &mut report.diagnostics);
+    }
+    // The annotation meta-rule: malformed annotations are diagnostics too,
+    // so a typo can never silently disable a rule. Test code is exempt —
+    // the code rules are not enforced there, so annotation correctness is
+    // not load-bearing (test sources quote annotations in fixtures).
+    report.rules_run.push(annot::ANNOTATION_RULE);
+    for file in &ws.files {
+        for (line, message) in &file.allows.malformed {
+            if file.is_test_line(*line) {
+                continue;
+            }
+            report.diagnostics.push(Diagnostic {
+                rule: annot::ANNOTATION_RULE,
+                file: file.rel.clone(),
+                line: *line,
+                message: message.clone(),
+                snippet: file.snippet(*line),
+            });
+        }
+        report.allows_honored += file.allows.count();
+    }
+    report.sort();
+    report
+}
+
+/// Loads the workspace at `root` and lints it.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the workspace walk.
+pub fn lint_root(root: &Path) -> std::io::Result<Report> {
+    let known = rules::known_rule_ids();
+    let ws = Workspace::load(root, &known)?;
+    Ok(lint(&ws))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workspace::{FileKind, ScannedFile};
+
+    #[test]
+    fn malformed_annotation_surfaces_as_meta_diagnostic() {
+        let known = rules::known_rule_ids();
+        let file = ScannedFile::rust(
+            "crates/ss-core/src/codec.rs",
+            FileKind::Source,
+            "// ss-lint: allow(panic-freedom)\nlet x = 1;\n",
+            &known,
+        );
+        let report = lint(&Workspace::from_parts(vec![file], vec![]));
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].rule, "annotation");
+    }
+
+    #[test]
+    fn clean_synthetic_workspace_reports_clean() {
+        let known = rules::known_rule_ids();
+        let file = ScannedFile::rust(
+            "crates/ss-core/src/codec.rs",
+            FileKind::Source,
+            "#![forbid(unsafe_code)]\npub fn ok() -> u64 { 42 }\n",
+            &known,
+        );
+        let report = lint(&Workspace::from_parts(vec![file], vec![]));
+        assert!(report.is_clean(), "{}", report.render_human());
+        assert_eq!(report.rules_run.len(), 6);
+    }
+}

@@ -1,0 +1,115 @@
+//! Rule `concurrency-containment`: thread and lock primitives live only
+//! in `ss-core::par`.
+//!
+//! PR 1 made encode/measure multi-threaded; the splice-ordering guarantees
+//! that keep parallel output bit-identical to the sequential oracle are
+//! argued once, in `crates/ss-core/src/par.rs`. Scattered `thread::spawn`
+//! or ad-hoc locks elsewhere would re-open those arguments file by file —
+//! so everywhere else, spawning (`thread::spawn`, `thread::scope`) and
+//! blocking synchronization (`Mutex`, `RwLock`, `Condvar`) are forbidden.
+//! Test code is exempt, and deliberate exceptions (a process-wide cache)
+//! carry a file-scoped allow-annotation with their safety argument.
+
+use super::{has_token, Rule};
+use crate::diag::Diagnostic;
+use crate::workspace::{FileKind, Workspace};
+
+/// The one module allowed to spawn threads and take locks.
+pub const CONTAINMENT: &str = "crates/ss-core/src/par.rs";
+
+const PATTERNS: &[&str] = &[
+    "thread::spawn",
+    "thread::scope",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+];
+
+/// See the module docs.
+pub struct Concurrency;
+
+impl Rule for Concurrency {
+    fn id(&self) -> &'static str {
+        "concurrency-containment"
+    }
+
+    fn description(&self) -> &'static str {
+        "thread spawning and locks are confined to ss-core::par"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if file.kind != FileKind::Source || file.rel == CONTAINMENT {
+                continue;
+            }
+            for (idx, line) in file.lines.iter().enumerate() {
+                let lineno = idx + 1;
+                if file.is_test_line(lineno) || file.is_allowed(self.id(), lineno) {
+                    continue;
+                }
+                for pat in PATTERNS {
+                    if has_token(&line.code, pat) {
+                        out.push(Diagnostic {
+                            rule: self.id(),
+                            file: file.rel.clone(),
+                            line: lineno,
+                            message: format!(
+                                "`{pat}` outside `{CONTAINMENT}`: route parallelism through \
+                                 `ss_core::par` (scoped_map/par_map) or annotate the \
+                                 containment exception"
+                            ),
+                            snippet: file.snippet(lineno),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::ScannedFile;
+
+    fn run_at(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let file = ScannedFile::rust(rel, FileKind::Source, src, &["concurrency-containment"]);
+        let ws = Workspace::from_parts(vec![file], vec![]);
+        let mut out = Vec::new();
+        Concurrency.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_primitives_outside_par() {
+        assert_eq!(
+            run_at("crates/ss-bench/src/lib.rs", "std::thread::scope(|s| {});").len(),
+            1
+        );
+        assert_eq!(
+            run_at("crates/ss-sim/src/sim.rs", "let m = Mutex::new(0);").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn par_module_is_exempt() {
+        assert!(run_at(CONTAINMENT, "std::thread::spawn(|| {});").is_empty());
+    }
+
+    #[test]
+    fn file_annotation_documents_an_exception() {
+        let src = "// ss-lint: allow-file(concurrency-containment) -- init-once cache\n\
+                   static C: Mutex<u32> = Mutex::new(0);\n";
+        assert!(run_at("crates/ss-bench/src/stats_cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn atomics_are_fine() {
+        assert!(run_at(
+            "crates/ss-bench/src/lib.rs",
+            "let n = std::sync::atomic::AtomicUsize::new(0);"
+        )
+        .is_empty());
+    }
+}

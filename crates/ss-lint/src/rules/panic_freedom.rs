@@ -1,0 +1,184 @@
+//! Rule `panic-freedom`: designated hot-path modules must not contain
+//! panicking constructs.
+//!
+//! The ShapeShifter container is decoded on the serving path; a panic in
+//! the codec, the bit I/O substrate or a simulator inner loop takes the
+//! whole process down mid-stream. In those modules the rule forbids
+//! `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`,
+//! `unimplemented!` and direct slice indexing (`values[i]`, `&buf[a..b]`),
+//! all of which can abort. Test modules are exempt — asserting with
+//! `unwrap` is the point of a test — and structurally-proven sites carry
+//! `// ss-lint: allow(panic-freedom) -- <why the panic cannot fire>`.
+
+use super::{has_token, Rule};
+use crate::diag::Diagnostic;
+use crate::workspace::{FileKind, Workspace};
+
+/// Workspace-relative paths of the hot-path modules this rule polices:
+/// the bit I/O substrate, the codec/decompressor/detector core, and the
+/// accelerator simulator inner loops.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/ss-bitio/src/reader.rs",
+    "crates/ss-bitio/src/writer.rs",
+    "crates/ss-core/src/codec.rs",
+    "crates/ss-core/src/checked.rs",
+    "crates/ss-core/src/decompressor.rs",
+    "crates/ss-core/src/detector.rs",
+    "crates/ss-sim/src/sim.rs",
+    "crates/ss-sim/src/sip.rs",
+    "crates/ss-sim/src/tile.rs",
+];
+
+/// Panicking method calls and macros, with the construct named.
+const PATTERNS: &[(&str, &str)] = &[
+    (".unwrap()", "`.unwrap()`"),
+    (".expect(", "`.expect(...)`"),
+    ("panic!", "`panic!`"),
+    ("unreachable!", "`unreachable!`"),
+    ("todo!", "`todo!`"),
+    ("unimplemented!", "`unimplemented!`"),
+];
+
+/// See the module docs.
+pub struct PanicFreedom;
+
+impl Rule for PanicFreedom {
+    fn id(&self) -> &'static str {
+        "panic-freedom"
+    }
+
+    fn description(&self) -> &'static str {
+        "hot-path modules must not unwrap/expect/panic or index slices directly"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if file.kind != FileKind::Source || !HOT_PATHS.contains(&file.rel.as_str()) {
+                continue;
+            }
+            for (idx, line) in file.lines.iter().enumerate() {
+                let lineno = idx + 1;
+                if file.is_test_line(lineno) || file.is_allowed(self.id(), lineno) {
+                    continue;
+                }
+                for &(needle, label) in PATTERNS {
+                    if has_token(&line.code, needle) {
+                        out.push(Diagnostic {
+                            rule: self.id(),
+                            file: file.rel.clone(),
+                            line: lineno,
+                            message: format!(
+                                "{label} in hot-path module: convert to a typed error or \
+                                 annotate with `ss-lint: allow(panic-freedom) -- <proof>`"
+                            ),
+                            snippet: file.snippet(lineno),
+                        });
+                    }
+                }
+                if has_index_expr(&line.code) {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        file: file.rel.clone(),
+                        line: lineno,
+                        message: "direct slice indexing in hot-path module (can panic on \
+                                  out-of-bounds): use `get`/iterators or annotate with a \
+                                  bounds proof"
+                            .to_string(),
+                        snippet: file.snippet(lineno),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Detects an index/slice expression: a `[` immediately following an
+/// identifier character, `)` or `]`. Array *types* (`[u8; 4]`), array
+/// literals (`= [0; 4]`), attributes (`#[...]`) and macro brackets
+/// (`vec![`) all have a non-expression character before the bracket and
+/// are not flagged.
+fn has_index_expr(code: &str) -> bool {
+    let mut prev = ' ';
+    for c in code.chars() {
+        if c == '['
+            && (prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']')
+        {
+            return true;
+        }
+        prev = c;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::ScannedFile;
+
+    fn ws_with(src: &str) -> Workspace {
+        let file = ScannedFile::rust(
+            "crates/ss-core/src/codec.rs",
+            FileKind::Source,
+            src,
+            &["panic-freedom"],
+        );
+        Workspace::from_parts(vec![file], vec![])
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        PanicFreedom.check(&ws_with(src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_each_construct() {
+        for bad in [
+            "let x = v.unwrap();",
+            "let x = v.expect(\"msg\");",
+            "panic!(\"boom\");",
+            "unreachable!();",
+            "let y = data[i];",
+            "let s = &buf[1..3];",
+        ] {
+            assert_eq!(run(bad).len(), 1, "{bad}");
+        }
+    }
+
+    #[test]
+    fn ignores_types_literals_macros_and_comments() {
+        for ok in [
+            "let z: [u64; 4] = [0; 4];",
+            "let v = vec![1, 2];",
+            "#[derive(Debug)]",
+            "// data[i] and .unwrap() in a comment",
+            "let s = \"data[i].unwrap()\";",
+            "let r = v.unwrap_or(0);",
+        ] {
+            assert!(run(ok).is_empty(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn test_region_and_annotations_are_exempt() {
+        assert!(run("#[cfg(test)]\nmod tests { fn t() { v.unwrap(); } }").is_empty());
+        assert!(run(
+            "let x = v[i]; // ss-lint: allow(panic-freedom) -- i < len checked above"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn non_hot_files_are_ignored() {
+        let file = ScannedFile::rust(
+            "crates/ss-bench/src/lib.rs",
+            FileKind::Source,
+            "let x = v.unwrap();",
+            &["panic-freedom"],
+        );
+        let ws = Workspace::from_parts(vec![file], vec![]);
+        let mut out = Vec::new();
+        PanicFreedom.check(&ws, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Rule `truncating-cast`: audit narrowing `as` casts in bit-width
+//! arithmetic.
+//!
+//! The paper's containers are at most 16 bits wide, so the codec's width
+//! arithmetic constantly moves values between `u64` stream fields and
+//! narrow width/payload types. An `as` cast to a sub-word type silently
+//! truncates; one wrong mask and a 17-bit value becomes a valid-looking
+//! 16-bit one, corrupting streams without an error. In hot-path modules
+//! every cast to `u8`/`i8`/`u16`/`i16` must either be rewritten without a
+//! cast or carry `// ss-lint: allow(truncating-cast) -- <range proof>`.
+//! Casts to 32-bit-and-wider targets are not flagged: the stream arithmetic
+//! is `u64`-based and those casts are checked by the codec's own errors.
+
+use super::{has_token, Rule};
+use crate::diag::Diagnostic;
+use crate::workspace::{FileKind, Workspace};
+
+/// Narrow targets whose `as` casts are audited.
+const NARROW_TARGETS: &[&str] = &["as u8", "as i8", "as u16", "as i16"];
+
+/// See the module docs.
+pub struct TruncatingCast;
+
+impl Rule for TruncatingCast {
+    fn id(&self) -> &'static str {
+        "truncating-cast"
+    }
+
+    fn description(&self) -> &'static str {
+        "narrowing `as` casts in hot-path width arithmetic need a range proof"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if file.kind != FileKind::Source
+                || !super::panic_freedom::HOT_PATHS.contains(&file.rel.as_str())
+            {
+                continue;
+            }
+            for (idx, line) in file.lines.iter().enumerate() {
+                let lineno = idx + 1;
+                if file.is_test_line(lineno) || file.is_allowed(self.id(), lineno) {
+                    continue;
+                }
+                for target in NARROW_TARGETS {
+                    if has_token(&line.code, target) {
+                        out.push(Diagnostic {
+                            rule: self.id(),
+                            file: file.rel.clone(),
+                            line: lineno,
+                            message: format!(
+                                "narrowing `{target}` cast in bit-width arithmetic: prove \
+                                 the value fits (mask/shift on an adjacent line) and annotate \
+                                 with `ss-lint: allow(truncating-cast) -- <proof>`, or use \
+                                 `try_from`"
+                            ),
+                            snippet: file.snippet(lineno),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::ScannedFile;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = ScannedFile::rust(
+            "crates/ss-bitio/src/writer.rs",
+            FileKind::Source,
+            src,
+            &["truncating-cast"],
+        );
+        let ws = Workspace::from_parts(vec![file], vec![]);
+        let mut out = Vec::new();
+        TruncatingCast.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_narrow_casts_only() {
+        assert_eq!(run("let b = (v & 0xFF) as u8;").len(), 1);
+        assert_eq!(run("let w = x as u16;").len(), 1);
+        assert!(run("let w = x as u64;").is_empty());
+        assert!(run("let w = x as usize;").is_empty());
+        assert!(run("let w = x as u32;").is_empty());
+    }
+
+    #[test]
+    fn annotated_cast_passes() {
+        assert!(run(
+            "let b = (v & 0xFF) as u8; // ss-lint: allow(truncating-cast) -- masked to 8 bits"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn identifier_suffixes_do_not_match() {
+        assert!(run("let y = x as u8x16;").is_empty());
+    }
+}

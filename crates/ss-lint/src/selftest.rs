@@ -1,0 +1,162 @@
+//! Rule self-tests against seeded fixtures.
+//!
+//! Every rule ships a fixture under `crates/ss-lint/fixtures/` with
+//! deliberately seeded violations. The self-test mounts each fixture at a
+//! workspace-relative path inside the rule's scope (a hot-path module, a
+//! crate root, a manifest) and runs the *production* lint entry point over
+//! the synthetic workspace — proving the rule still fires, and that it
+//! fires alone. A `suppressed` negative control carries correctly
+//! annotated would-be violations and must come back clean.
+//!
+//! Fixtures live outside `src/` so the workspace walk never scans them:
+//! the seeded violations can never fail the real tree.
+
+use crate::diag::Report;
+use crate::rules;
+use crate::workspace::{FileKind, ScannedFile, Workspace};
+
+/// Name of the clean negative-control fixture.
+pub const SUPPRESSED: &str = "suppressed";
+
+/// Builds the synthetic workspace for `name` — a rule id or
+/// [`SUPPRESSED`]. Returns `None` for unknown names.
+#[must_use]
+pub fn fixture_workspace(name: &str) -> Option<Workspace> {
+    let known = rules::known_rule_ids();
+    let rust = |rel: &str, text: &str| ScannedFile::rust(rel, FileKind::Source, text, &known);
+    let (files, crate_roots) = match name {
+        "panic-freedom" => (
+            vec![rust(
+                "crates/ss-core/src/codec.rs",
+                include_str!("../fixtures/panic_freedom.rs"),
+            )],
+            vec![],
+        ),
+        "unsafe-wall" => (
+            vec![rust(
+                "crates/ss-core/src/lib.rs",
+                include_str!("../fixtures/unsafe_wall.rs"),
+            )],
+            vec!["crates/ss-core/src/lib.rs".to_string()],
+        ),
+        "truncating-cast" => (
+            vec![rust(
+                "crates/ss-bitio/src/writer.rs",
+                include_str!("../fixtures/truncating_cast.rs"),
+            )],
+            vec![],
+        ),
+        "concurrency-containment" => (
+            vec![rust(
+                "crates/ss-bench/src/lib.rs",
+                include_str!("../fixtures/concurrency.rs"),
+            )],
+            vec![],
+        ),
+        "vendor-drift" => (
+            vec![
+                ScannedFile::manifest(
+                    "crates/ss-models/Cargo.toml",
+                    include_str!("../fixtures/vendor_drift.toml"),
+                    &known,
+                ),
+                rust(
+                    "crates/ss-models/src/gen.rs",
+                    include_str!("../fixtures/vendor_drift.rs"),
+                ),
+            ],
+            vec![],
+        ),
+        "annotation" => (
+            vec![rust(
+                "crates/ss-models/src/zoo.rs",
+                include_str!("../fixtures/annotation.rs"),
+            )],
+            vec![],
+        ),
+        SUPPRESSED => (
+            vec![rust(
+                "crates/ss-core/src/codec.rs",
+                include_str!("../fixtures/suppressed.rs"),
+            )],
+            vec![],
+        ),
+        _ => return None,
+    };
+    Some(Workspace::from_parts(files, crate_roots))
+}
+
+/// Lints the fixture for `name`. Returns `None` for unknown names.
+#[must_use]
+pub fn lint_fixture(name: &str) -> Option<Report> {
+    fixture_workspace(name).map(|ws| crate::lint(&ws))
+}
+
+/// Runs every rule against its seeded fixture plus the negative control.
+/// Returns failure descriptions; an empty vector means the self-test
+/// passed.
+#[must_use]
+pub fn run() -> Vec<String> {
+    let mut failures = Vec::new();
+    for rule in rules::known_rule_ids() {
+        let Some(report) = lint_fixture(rule) else {
+            failures.push(format!("rule `{rule}` has no seeded fixture"));
+            continue;
+        };
+        let hits = report.diagnostics.iter().filter(|d| d.rule == rule).count();
+        if hits == 0 {
+            failures.push(format!(
+                "rule `{rule}` did not fire on its seeded fixture"
+            ));
+        }
+        for stray in report.diagnostics.iter().filter(|d| d.rule != rule) {
+            failures.push(format!(
+                "fixture for `{rule}` triggered an unrelated rule: {}:{} [{}]",
+                stray.file, stray.line, stray.rule
+            ));
+        }
+    }
+    match lint_fixture(SUPPRESSED) {
+        Some(report) if !report.is_clean() => {
+            for d in &report.diagnostics {
+                failures.push(format!(
+                    "negative control `{SUPPRESSED}` is not clean: {}:{} [{}] {}",
+                    d.file, d.line, d.rule, d.message
+                ));
+            }
+        }
+        Some(_) => {}
+        None => failures.push(format!("missing `{SUPPRESSED}` negative-control fixture")),
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_fires_on_its_fixture_and_control_is_clean() {
+        let failures = run();
+        assert!(failures.is_empty(), "{}", failures.join("\n"));
+    }
+
+    #[test]
+    fn panic_freedom_fixture_seeds_each_construct() {
+        let report = lint_fixture("panic-freedom").expect("fixture");
+        // unwrap, expect, panic!, and one direct index.
+        assert_eq!(report.diagnostics.len(), 4, "{}", report.render_human());
+    }
+
+    #[test]
+    fn vendor_fixture_covers_manifest_and_source() {
+        let report = lint_fixture("vendor-drift").expect("fixture");
+        assert!(report.diagnostics.iter().any(|d| d.file.ends_with("Cargo.toml")));
+        assert!(report.diagnostics.iter().any(|d| d.file.ends_with(".rs")));
+    }
+
+    #[test]
+    fn unknown_fixture_name_is_none() {
+        assert!(lint_fixture("no-such-rule").is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! Integration tests: the self-test suite and a full scan of the real
+//! workspace through the public API.
+
+use std::path::Path;
+
+use ss_lint::{lint_root, selftest, workspace};
+
+#[test]
+fn seeded_fixtures_trip_their_rules() {
+    let failures = selftest::run();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn each_fixture_report_is_dirty_and_control_is_clean() {
+    for rule in ss_lint::rules::known_rule_ids() {
+        let report = selftest::lint_fixture(rule).expect("fixture exists");
+        assert!(!report.is_clean(), "fixture for `{rule}` reported clean");
+    }
+    let control = selftest::lint_fixture(selftest::SUPPRESSED).expect("control exists");
+    assert!(control.is_clean(), "{}", control.render_human());
+}
+
+#[test]
+fn shipped_workspace_is_clean() {
+    let root = workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above ss-lint");
+    let report = lint_root(&root).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "the shipped tree must lint clean:\n{}",
+        report.render_human()
+    );
+    assert!(report.files_scanned > 20, "suspiciously few files scanned");
+}

@@ -1,6 +1,13 @@
 //! Deterministic synthetic value generation.
 
+// The zoo's calibrated generator is the one deliberate product-code use of
+// the vendored `rand` stand-in: the synthetic tensors ARE the dataset, so
+// the generator must ship with the product crates, and the stand-in's
+// StdRng is deterministic by construction (fixed algorithm, no OS entropy),
+// which the reproducibility contract depends on.
+// ss-lint: allow(vendor-drift) -- calibrated zoo generator; deterministic stand-in StdRng is part of the dataset contract
 use rand::rngs::StdRng;
+// ss-lint: allow(vendor-drift) -- same exception as the line above
 use rand::{Rng, SeedableRng};
 use ss_tensor::{FixedType, Shape, Signedness, Tensor};
 

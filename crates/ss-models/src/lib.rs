@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Synthetic neural-network model zoo for the ShapeShifter reproduction.

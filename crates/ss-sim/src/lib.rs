@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Analytic-cycle accelerator, memory and energy simulators for the

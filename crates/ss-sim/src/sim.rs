@@ -259,8 +259,7 @@ pub fn simulate(
     let num_layers = model.layers().len();
     let mut layers = Vec::with_capacity(num_layers);
 
-    for i in 0..num_layers {
-        let layer = &model.layers()[i];
+    for (i, layer) in model.layers().iter().enumerate() {
         let wgt_stats = model.weight_stats(i, MODEL_SEED);
         let act_in_stats = model.input_stats(i, input_seed);
         let act_out_stats = model.output_stats(i, input_seed);

@@ -50,6 +50,8 @@ impl ConvGeometry {
     /// Activation value at `(c, y, x)` of a channel-innermost flat tensor
     /// (the layout the zoo generates and the paper groups along).
     fn act(&self, acts: &Tensor, c: usize, y: usize, x: usize) -> i32 {
+        // ss-lint: allow(panic-freedom) -- tile_cycles asserts the tensor matches the
+        // geometry, and every caller stays within in_ch/in_h/in_w by loop construction
         acts.values()[(y * self.in_w + x) * self.in_ch + c]
     }
 }
@@ -92,13 +94,12 @@ pub fn tile_cycles(
                         for r in 0..rows {
                             let (ay, ax) = (y + dy, x0 + r + dx);
                             let mut group = [0i32; SIP_CHANNELS];
-                            for (slot, c) in (c0..c1).enumerate() {
-                                group[slot] = geom.act(acts, c, ay, ax);
+                            for (slot, c) in group.iter_mut().zip(c0..c1) {
+                                *slot = geom.act(acts, c, ay, ax);
                             }
-                            widths.push(width::group_width(
-                                &group[..c1 - c0],
-                                Signedness::Unsigned,
-                            ));
+                            // ss-lint: allow(panic-freedom) -- c1 - c0 <= SIP_CHANNELS, the array length
+                            let live = &group[..c1 - c0];
+                            widths.push(width::group_width(live, Signedness::Unsigned));
                         }
                         cycles += step_width(&widths);
                     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Fixed-point tensors and data-width arithmetic for ShapeShifter.

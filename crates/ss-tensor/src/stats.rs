@@ -304,7 +304,7 @@ mod tests {
     fn skewed(len: usize) -> Tensor {
         let vals: Vec<i32> = (0..len)
             .map(|i| match i % 7 {
-                0 | 1 | 2 => 0,
+                0..=2 => 0,
                 3 | 4 => (i % 13) as i32 - 6,
                 5 => 300 - (i % 100) as i32,
                 _ => -(i.min(20_000) as i32),

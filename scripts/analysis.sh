@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Static-analysis gate: the workspace linter, its self-test, every seeded
+# fixture (each must make the linter exit non-zero — a fixture that lints
+# clean means its rule has gone blind), and the decoder corruption fuzz
+# suites that exercise the checked-decode invariants.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== ss-lint: shipped workspace =="
+cargo run --release -q -p ss-lint
+
+echo
+echo "== ss-lint: self-test =="
+cargo run --release -q -p ss-lint -- --self-test
+
+echo
+echo "== ss-lint: seeded fixtures (each must trip its rule) =="
+for rule in panic-freedom unsafe-wall truncating-cast \
+            concurrency-containment vendor-drift annotation; do
+    if cargo run --release -q -p ss-lint -- --fixture "$rule" >/dev/null; then
+        echo "FAIL: fixture '$rule' linted clean — its rule is blind" >&2
+        exit 1
+    fi
+    echo "ok: $rule fixture trips its rule"
+done
+
+echo
+echo "== decoder corruption fuzzing (debug assertions on) =="
+cargo test -q -p ss-core --test codec_fuzz
+cargo test -q -p ss-core --test codec_properties
+cargo test -q -p ss-bitio --test roundtrip
+
+echo
+echo "analysis gate: all checks passed"

@@ -9,6 +9,7 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
+cargo run --release -q -p ss-lint
 
 echo
 echo "== perf baseline (informational) =="

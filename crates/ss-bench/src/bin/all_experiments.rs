@@ -8,6 +8,9 @@
 //! `SS_SCALE`/`SS_INPUTS` shrink the run for smoke testing; `SS_OUT_DIR`
 //! additionally writes each experiment's output to
 //! `<dir>/<experiment>.txt` for plotting pipelines.
+//! Supports `--trace <path>` / `--trace-chrome <path>` (see
+//! `ss_bench::trace`): one trace spans the whole run, with a span per
+//! experiment.
 
 use std::fs;
 use std::io::{self, Write};
@@ -15,6 +18,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use ss_bench::figs;
+use ss_bench::trace::TraceArgs;
+use ss_trace::Span;
 
 type Experiment = fn(&mut Vec<u8>) -> io::Result<()>;
 
@@ -69,6 +74,8 @@ fn main() -> io::Result<()> {
             figs::ext_energy::run(o)
         }),
     ];
+    let trace_args = TraceArgs::from_env();
+    trace_args.install();
     let out_dir: Option<PathBuf> = std::env::var_os("SS_OUT_DIR").map(PathBuf::from);
     if let Some(dir) = &out_dir {
         fs::create_dir_all(dir)?;
@@ -83,12 +90,16 @@ fn main() -> io::Result<()> {
     for (name, slug, run) in experiments {
         let t = Instant::now();
         let mut buf = Vec::new();
-        run(&mut buf)?;
+        {
+            let _span = Span::enter(ss_trace::global(), "experiment", slug);
+            run(&mut buf)?;
+        }
         out.write_all(&buf)?;
         if let Some(dir) = &out_dir {
             fs::write(dir.join(format!("{slug}.txt")), &buf)?;
         }
         writeln!(out, "[{name} done in {:.1}s]\n", t.elapsed().as_secs_f64())?;
     }
+    trace_args.export()?;
     writeln!(out, "All experiments done in {:.1}s", start.elapsed().as_secs_f64())
 }

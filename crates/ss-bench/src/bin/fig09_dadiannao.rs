@@ -1,5 +1,6 @@
 //! Regenerates the corresponding paper experiment; see `ss_bench::figs`.
+//! Supports `--trace <path>` / `--trace-chrome <path>` (see `ss_bench::trace`).
 
 fn main() -> std::io::Result<()> {
-    ss_bench::figs::fig09_dadiannao::run(&mut std::io::stdout().lock())
+    ss_bench::main_with_trace("fig09_dadiannao", |mut out| ss_bench::figs::fig09_dadiannao::run(&mut out))
 }

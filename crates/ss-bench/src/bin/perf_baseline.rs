@@ -3,15 +3,33 @@
 //! Times the ShapeShifter codec's encode / measure / decode paths on a
 //! 4M-value skewed tensor at 1 and 8 worker threads, plus one
 //! representative traffic sweep (cold, then warm against the shared
-//! statistics cache), and writes the numbers as machine-readable JSON to
-//! `BENCH_codec.json` (override the path with `SS_BENCH_OUT`).
+//! statistics cache).
+//!
+//! Output is split so that repeated runs never churn checked-in files
+//! with timing jitter:
+//!
+//! * `BENCH_codec.json` (override with `SS_BENCH_OUT`) holds only the
+//!   **deterministic** fields — pinned configuration, encoded bit count
+//!   and compression ratio — and is rewritten on every run (it is
+//!   byte-identical across runs on any host).
+//! * `BENCH_codec_timings.json` (override with `SS_BENCH_TIMINGS_OUT`)
+//!   holds the host-dependent **timings** and is rewritten only under
+//!   `--update-timings`; plain runs print timings to stdout and leave
+//!   the file alone.
+//!
+//! `--overhead-gate` runs the ss-trace overhead check instead: it times
+//! the measure path with the default `NoopRecorder` and again with a
+//! collecting `TraceRecorder` installed, and fails (exit 1) if even the
+//! *enabled* recorder costs more than 50% — the disabled path only pays
+//! an `enabled()` branch per chunk, so it is bounded above by the
+//! enabled cost. `scripts/analysis.sh` runs this gate.
 //!
 //! The inputs are pinned — geometry, seed, group size and thread counts
 //! are hard-coded — so successive runs of the binary are comparable
 //! without environment setup. The host's available parallelism is
-//! recorded in the JSON: thread-scaling ratios are only meaningful when
-//! the host actually has the cores (a 1-core container will honestly
-//! report ~1x).
+//! recorded in the timings JSON: thread-scaling ratios are only
+//! meaningful when the host actually has the cores (a 1-core container
+//! will honestly report ~1x).
 
 use std::io::Write;
 use std::time::Instant;
@@ -20,6 +38,7 @@ use ss_bench::suites::traffic_totals;
 use ss_core::scheme::{Base, CompressionScheme, ProfileScheme, ShapeShifterScheme, ZeroRle};
 use ss_core::ShapeShifterCodec;
 use ss_tensor::{FixedType, Shape, Tensor};
+use ss_trace::{Counter, TraceRecorder};
 
 /// 4Mi values: large enough that chunked encode dominates thread spawn.
 const VALUES: usize = 1 << 22;
@@ -27,6 +46,11 @@ const GROUP_SIZE: usize = 16;
 const THREADS: [usize; 2] = [1, 8];
 /// Timed repetitions per configuration; the minimum is reported.
 const REPS: usize = 3;
+/// Repetitions for the overhead gate (cheap path, so take more samples).
+const GATE_REPS: usize = 7;
+/// The enabled recorder may cost at most this fraction extra on the
+/// measure path; the disabled (`NoopRecorder`) cost is strictly below it.
+const GATE_MAX_OVERHEAD: f64 = 0.50;
 
 /// The paper's skewed value population: mostly near-zero, some zeros,
 /// rare wide values — deterministic, no RNG dependency.
@@ -45,24 +69,80 @@ fn skewed_tensor() -> Tensor {
     Tensor::from_vec(Shape::flat(VALUES), FixedType::I16, vals).expect("values fit i16")
 }
 
-fn best_of<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+fn best_of_n<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
     let mut out = None;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let t0 = Instant::now();
         let r = f();
         best = best.min(t0.elapsed().as_secs_f64() * 1e3);
         out = Some(r);
     }
-    (best, out.expect("REPS >= 1"))
+    (best, out.expect("reps >= 1"))
+}
+
+fn best_of<R>(f: impl FnMut() -> R) -> (f64, R) {
+    best_of_n(REPS, f)
 }
 
 fn mvalues_per_s(ms: f64) -> f64 {
     VALUES as f64 / (ms * 1e-3) / 1e6
 }
 
+/// `--overhead-gate`: NoopRecorder vs installed-recorder measure timing.
+fn overhead_gate() -> std::io::Result<()> {
+    let tensor = skewed_tensor();
+    let codec = ShapeShifterCodec::new(GROUP_SIZE);
+    assert!(
+        ss_trace::installed().is_none(),
+        "gate must start with the NoopRecorder"
+    );
+    // Warm up caches before either timed pass.
+    let _ = codec.measure_with_threads(&tensor, 1);
+
+    let (noop_ms, _) = best_of_n(GATE_REPS, || codec.measure_with_threads(&tensor, 1));
+    println!(
+        "measure, NoopRecorder (default): {noop_ms:>8.2} ms  ({:.1} Mvalues/s)",
+        mvalues_per_s(noop_ms)
+    );
+
+    assert!(ss_trace::install(TraceRecorder::new()), "first install");
+    let rec = ss_trace::installed().expect("just installed");
+    let calls0 = rec.counter(Counter::MeasureCalls);
+    let (enabled_ms, _) = best_of_n(GATE_REPS, || codec.measure_with_threads(&tensor, 1));
+    assert!(
+        rec.counter(Counter::MeasureCalls) >= calls0 + GATE_REPS as u64,
+        "the enabled pass must actually hit the recorder"
+    );
+    println!(
+        "measure, TraceRecorder enabled:  {enabled_ms:>8.2} ms  ({:.1} Mvalues/s)",
+        mvalues_per_s(enabled_ms)
+    );
+
+    let overhead = (enabled_ms - noop_ms) / noop_ms.max(1e-9);
+    println!(
+        "enabled-recorder overhead: {:+.1}% (gate: <= {:.0}%; disabled path pays one branch per chunk, bounded above by this)",
+        overhead * 100.0,
+        GATE_MAX_OVERHEAD * 100.0
+    );
+    if overhead > GATE_MAX_OVERHEAD {
+        eprintln!("trace overhead gate: FAIL");
+        std::process::exit(1);
+    }
+    println!("trace overhead gate: PASS");
+    Ok(())
+}
+
 fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--overhead-gate") {
+        return overhead_gate();
+    }
+    let update_timings = args.iter().any(|a| a == "--update-timings");
+
     let out = std::env::var("SS_BENCH_OUT").unwrap_or_else(|_| "BENCH_codec.json".into());
+    let timings_out = std::env::var("SS_BENCH_TIMINGS_OUT")
+        .unwrap_or_else(|_| "BENCH_codec_timings.json".into());
     let host_threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -120,9 +200,10 @@ fn main() -> std::io::Result<()> {
         (encode_ms[0] + measure_ms[0]) / (encode_ms[1] + measure_ms[1]).max(1e-9)
     );
 
+    // Deterministic half: identical bytes on every run and every host, so
+    // rewriting it unconditionally never churns the checked-in file.
     let json = format!(
         r#"{{
-  "host": {{ "available_parallelism": {host_threads} }},
   "config": {{
     "values": {VALUES},
     "group_size": {GROUP_SIZE},
@@ -130,29 +211,45 @@ fn main() -> std::io::Result<()> {
     "reps": {REPS},
     "threads_compared": [{t0c}, {t1c}]
   }},
-  "encode_ms": {{ "t{t0c}": {e0:.3}, "t{t1c}": {e1:.3}, "speedup": {es:.3} }},
-  "measure_ms": {{ "t{t0c}": {m0:.3}, "t{t1c}": {m1:.3}, "speedup": {ms_:.3} }},
-  "decode_ms": {d:.3},
   "encoded_bits": {bits},
-  "compression_ratio": {ratio:.4},
-  "traffic_sweep_ms": {{ "cold": {sc:.3}, "warm": {sw:.3} }}
+  "compression_ratio": {ratio:.4}
 }}
 "#,
         t0c = THREADS[0],
         t1c = THREADS[1],
-        e0 = encode_ms[0],
-        e1 = encode_ms[1],
-        es = speedup(&encode_ms),
-        m0 = measure_ms[0],
-        m1 = measure_ms[1],
-        ms_ = speedup(&measure_ms),
-        d = decode_ms,
         bits = encoded.bit_len(),
         ratio = encoded.bit_len() as f64 / tensor.container_bits() as f64,
-        sc = sweep_cold_ms,
-        sw = sweep_warm_ms,
     );
     std::fs::File::create(&out)?.write_all(json.as_bytes())?;
     println!("wrote {out}");
+
+    // Timing half: host-dependent and jittery, so only written on request.
+    if update_timings {
+        let json = format!(
+            r#"{{
+  "host": {{ "available_parallelism": {host_threads} }},
+  "encode_ms": {{ "t{t0c}": {e0:.3}, "t{t1c}": {e1:.3}, "speedup": {es:.3} }},
+  "measure_ms": {{ "t{t0c}": {m0:.3}, "t{t1c}": {m1:.3}, "speedup": {ms_:.3} }},
+  "decode_ms": {d:.3},
+  "traffic_sweep_ms": {{ "cold": {sc:.3}, "warm": {sw:.3} }}
+}}
+"#,
+            t0c = THREADS[0],
+            t1c = THREADS[1],
+            e0 = encode_ms[0],
+            e1 = encode_ms[1],
+            es = speedup(&encode_ms),
+            m0 = measure_ms[0],
+            m1 = measure_ms[1],
+            ms_ = speedup(&measure_ms),
+            d = decode_ms,
+            sc = sweep_cold_ms,
+            sw = sweep_warm_ms,
+        );
+        std::fs::File::create(&timings_out)?.write_all(json.as_bytes())?;
+        println!("wrote {timings_out}");
+    } else {
+        println!("timings not persisted (rerun with --update-timings to rewrite {timings_out})");
+    }
     Ok(())
 }

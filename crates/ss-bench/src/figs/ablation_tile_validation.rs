@@ -67,11 +67,11 @@ pub fn layer_ratios(net: &Network, layer: usize, seed: u64) -> Option<(f64, f64)
         * (in_ch as f64 / (in_ch.div_ceil(16) * 16) as f64)
         * (out_ch as f64 / (out_ch.div_ceil(16) * 16) as f64);
     let analytic_ss = macs * eff / lanes / occ;
-    let exact_ss = tile_cycles(&geom, &acts, sstripes_step()) as f64;
+    let exact_ss = tile_cycles(&geom, &acts, sstripes_step()).ok()? as f64;
 
     let profiled = TensorSource::profiled_act_width(net, layer);
     let analytic_str = macs * f64::from(profiled.max(1)) / lanes / occ;
-    let exact_str = tile_cycles(&geom, &acts, stripes_step(profiled)) as f64;
+    let exact_str = tile_cycles(&geom, &acts, stripes_step(profiled)).ok()? as f64;
     let _ = (out_h, out_w); // declared sizes unused: the walk uses valid-region sizes
     Some((exact_ss / analytic_ss, exact_str / analytic_str))
 }

@@ -19,10 +19,12 @@
 pub mod figs;
 pub mod stats_cache;
 pub mod suites;
+pub mod trace;
 
 use std::env;
 
 pub use stats_cache::SharedStats;
+pub use trace::main_with_trace;
 
 /// Geometry divisor from `SS_SCALE` (default 1 = full published size).
 #[must_use]

@@ -1,0 +1,55 @@
+//! End-to-end acceptance check for the `--trace` plumbing: runs the real
+//! `fig12_sstripes` binary (at smoke scale) with `--trace` and
+//! `--trace-chrome`, and asserts the emitted JSON carries the per-layer
+//! EOG width histograms and stall counters the observability layer
+//! promises.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::process::Command;
+
+#[test]
+fn fig12_emits_trace_json_with_layer_records() {
+    let dir = std::env::temp_dir();
+    let json_path = dir.join(format!("ss_fig12_trace_{}.json", std::process::id()));
+    let chrome_path = dir.join(format!("ss_fig12_chrome_{}.json", std::process::id()));
+
+    let output = Command::new(env!("CARGO_BIN_EXE_fig12_sstripes"))
+        .arg("--trace")
+        .arg(&json_path)
+        .arg(format!("--trace-chrome={}", chrome_path.display()))
+        .env("SS_SCALE", "8")
+        .env("SS_INPUTS", "1")
+        .output()
+        .expect("spawn fig12_sstripes");
+    assert!(
+        output.status.success(),
+        "fig12_sstripes failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // The experiment's own stdout is unaffected by tracing.
+    assert!(!output.stdout.is_empty(), "experiment printed nothing");
+
+    let json = std::fs::read_to_string(&json_path).expect("trace file written");
+    // Document envelope.
+    assert!(json.trim_start().starts_with('{'));
+    assert!(json.contains("\"schema\": \"ss-trace/1\""));
+    assert!(json.contains("\"counters\""));
+    assert!(json.contains("\"width_hists\""));
+    // Stall counters from the simulator sweep.
+    assert!(json.contains("\"sim_stall_cycles\""));
+    assert!(json.contains("\"sim_compute_cycles\""));
+    // Per-layer records with EOG width histograms.
+    assert!(json.contains("\"layers\": ["));
+    assert!(json.contains("\"eog_width_hist\""));
+    assert!(json.contains("\"stall_cycles\""));
+    assert!(json.contains("\"layer_eog_width\""));
+    // The experiment span from main_with_trace.
+    assert!(json.contains("\"fig12_sstripes\""));
+
+    let chrome = std::fs::read_to_string(&chrome_path).expect("chrome trace written");
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("\"ph\":\"X\""));
+
+    let _ = std::fs::remove_file(&json_path);
+    let _ = std::fs::remove_file(&chrome_path);
+}

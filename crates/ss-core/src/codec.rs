@@ -2,6 +2,7 @@
 
 use ss_bitio::{BitReader, BitWriter};
 use ss_tensor::{width, FixedType, Shape, Signedness, Tensor};
+use ss_trace::{Counter, WidthCounts, WidthHist};
 
 use crate::{checked, par, CodecError, WidthDetector};
 
@@ -145,6 +146,16 @@ impl ShapeShifterCodec {
             merged
         };
 
+        let rec = ss_trace::global();
+        if rec.enabled() {
+            rec.add(Counter::EncodeCalls, 1);
+            rec.add(Counter::EncodeValues, tensor.len() as u64);
+            rec.add(Counter::EncodeBits, chunk.w.bit_len());
+            rec.add(Counter::EncodeMetadataBits, chunk.metadata_bits);
+            rec.add(Counter::EncodePayloadBits, chunk.payload_bits);
+            rec.add(Counter::EncodeGroups, chunk.groups as u64);
+        }
+
         Ok(EncodedTensor {
             bit_len: chunk.w.bit_len(),
             bytes: chunk.w.into_bytes(),
@@ -172,6 +183,12 @@ impl ShapeShifterCodec {
         let mut groups = 0usize;
         let mut metadata_bits = 0u64;
         let mut payload_bits = 0u64;
+        // Tracing state is accumulated locally and submitted once per chunk
+        // so the untraced path pays one branch per group, not an atomic op.
+        let rec = ss_trace::global();
+        let tracing = rec.enabled();
+        let mut group_widths = WidthCounts::new();
+        let mut zeros_elided = 0u64;
 
         for group in values.chunks(self.group_size) {
             groups += 1;
@@ -184,9 +201,15 @@ impl ShapeShifterCodec {
                         z |= 1 << i;
                     }
                 }
+                if tracing {
+                    zeros_elided += u64::from(z.count_ones());
+                }
                 w.write_bits(z, chunk.len() as u32)?;
             }
             let p = det.detect(group);
+            if tracing {
+                group_widths.observe(p, 1);
+            }
             w.write_bits(u64::from(det.detect_encoded(group)), prefix_bits)?;
             metadata_bits += group.len() as u64 + u64::from(prefix_bits);
             for &v in group.iter().filter(|&&v| v != 0) {
@@ -198,6 +221,10 @@ impl ShapeShifterCodec {
                 w.write_bits(enc, u32::from(p))?;
                 payload_bits += u64::from(p);
             }
+        }
+        if tracing {
+            rec.record_widths(WidthHist::CodecGroupWidth, &group_widths);
+            rec.add(Counter::EncodeZerosElided, zeros_elided);
         }
         Ok(ChunkStream {
             w,
@@ -239,16 +266,24 @@ impl ShapeShifterCodec {
         let dtype = tensor.dtype();
         let values = tensor.values();
         let chunk_values = par::chunk_values(values.len(), self.group_size, threads.max(1));
-        if values.len() <= chunk_values {
-            return self.measure_chunk(values, dtype);
+        let (meta, payload, groups) = if values.len() <= chunk_values {
+            self.measure_chunk(values, dtype)
+        } else {
+            par::scoped_map(values, chunk_values, |chunk| {
+                self.measure_chunk(chunk, dtype)
+            })
+            .into_iter()
+            .fold((0, 0, 0), |(m, p, g), (cm, cp, cg)| {
+                (m + cm, p + cp, g + cg)
+            })
+        };
+        let rec = ss_trace::global();
+        if rec.enabled() {
+            rec.add(Counter::MeasureCalls, 1);
+            rec.add(Counter::MeasureValues, tensor.len() as u64);
+            rec.add(Counter::MeasureBits, meta + payload);
         }
-        par::scoped_map(values, chunk_values, |chunk| {
-            self.measure_chunk(chunk, dtype)
-        })
-        .into_iter()
-        .fold((0, 0, 0), |(m, p, g), (cm, cp, cg)| {
-            (m + cm, p + cp, g + cg)
-        })
+        (meta, payload, groups)
     }
 
     /// Sequential measurement of one group-aligned slice.
@@ -259,11 +294,21 @@ impl ShapeShifterCodec {
         let mut metadata = 0u64;
         let mut payload = 0u64;
         let mut groups = 0usize;
+        let rec = ss_trace::global();
+        let tracing = rec.enabled();
+        let mut group_widths = WidthCounts::new();
         for group in values.chunks(self.group_size) {
             groups += 1;
             metadata += group.len() as u64 + prefix_bits;
             let w = u64::from(width::group_width(group, signedness));
+            if tracing {
+                // ss-lint: allow(truncating-cast) -- group width <= container bits <= 32
+                group_widths.observe(w as u8, 1);
+            }
             payload += w * group.iter().filter(|&&v| v != 0).count() as u64;
+        }
+        if tracing {
+            rec.record_widths(WidthHist::CodecGroupWidth, &group_widths);
         }
         (metadata, payload, groups)
     }
@@ -405,6 +450,11 @@ impl ShapeShifterCodec {
             return Err(CodecError::TrailingBits {
                 remaining: r.remaining_bits(),
             });
+        }
+        let rec = ss_trace::global();
+        if rec.enabled() {
+            rec.add(Counter::DecodeCalls, 1);
+            rec.add(Counter::DecodeValues, data.len() as u64);
         }
         Ok(data)
     }

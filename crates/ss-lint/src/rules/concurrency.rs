@@ -112,4 +112,28 @@ mod tests {
         )
         .is_empty());
     }
+
+    #[test]
+    fn trace_crate_is_covered() {
+        // The shared recorder must stay lock-free: a Mutex creeping into
+        // ss-trace would put a blocking primitive on every hot path.
+        assert_eq!(
+            run_at(
+                "crates/ss-trace/src/collect.rs",
+                "let slots = Mutex::new(Vec::new());"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            run_at("crates/ss-trace/src/lib.rs", "std::thread::spawn(|| {});").len(),
+            1
+        );
+        // Its actual building blocks — atomics and OnceLock — are fine.
+        assert!(run_at(
+            "crates/ss-trace/src/collect.rs",
+            "let c = std::sync::atomic::AtomicU64::new(0); let s: OnceLock<u8> = OnceLock::new();"
+        )
+        .is_empty());
+    }
 }

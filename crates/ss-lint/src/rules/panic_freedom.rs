@@ -15,8 +15,10 @@ use crate::diag::Diagnostic;
 use crate::workspace::{FileKind, Workspace};
 
 /// Workspace-relative paths of the hot-path modules this rule polices:
-/// the bit I/O substrate, the codec/decompressor/detector core, and the
-/// accelerator simulator inner loops.
+/// the bit I/O substrate, the codec/decompressor/detector core, the
+/// accelerator simulator inner loops, and the entire ss-trace crate —
+/// the observability layer is called *from* every hot path, so a panic
+/// there is a panic everywhere.
 pub const HOT_PATHS: &[&str] = &[
     "crates/ss-bitio/src/reader.rs",
     "crates/ss-bitio/src/writer.rs",
@@ -27,6 +29,11 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/ss-sim/src/sim.rs",
     "crates/ss-sim/src/sip.rs",
     "crates/ss-sim/src/tile.rs",
+    "crates/ss-trace/src/collect.rs",
+    "crates/ss-trace/src/json.rs",
+    "crates/ss-trace/src/lib.rs",
+    "crates/ss-trace/src/metric.rs",
+    "crates/ss-trace/src/recorder.rs",
 ];
 
 /// Panicking method calls and macros, with the construct named.

@@ -95,6 +95,15 @@ pub trait Accelerator {
 
     /// Datapath energy for one layer in picojoules.
     fn compute_energy_pj(&self, sig: &LayerSignals, em: &EnergyModel) -> f64;
+
+    /// Whether this design pairs SIP columns for the layer (the SStripes
+    /// Composer running a >8b-weight layer); `false` for every design
+    /// without a Composer. Surfaced so the trace layer can count pairing
+    /// events without downcasting.
+    fn composer_paired(&self, sig: &LayerSignals) -> bool {
+        let _ = sig;
+        false
+    }
 }
 
 /// Rounds a profiled precision up to Bit Fusion's supported power-of-two

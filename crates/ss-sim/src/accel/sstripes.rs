@@ -86,6 +86,10 @@ impl Accelerator for SStripes {
     fn compute_energy_pj(&self, sig: &LayerSignals, em: &EnergyModel) -> f64 {
         sig.macs as f64 * sig.act_eff_clamped() * em.serial_bit_pj
     }
+
+    fn composer_paired(&self, sig: &LayerSignals) -> bool {
+        self.composer && sig.wgt_profiled > 8
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +120,19 @@ mod tests {
                 "eff {eff} prof {prof} wprof {wprof}"
             );
         }
+    }
+
+    #[test]
+    fn composer_pairing_follows_weight_profile() {
+        let mut sig = conv16();
+        sig.wgt_profiled = 8;
+        assert!(!SStripes::new().composer_paired(&sig));
+        sig.wgt_profiled = 9;
+        assert!(SStripes::new().composer_paired(&sig));
+        // No Composer, no pairing regardless of width.
+        assert!(!SStripes::without_composer().composer_paired(&sig));
+        // The default trait impl reports no pairing for other designs.
+        assert!(!Stripes::new().composer_paired(&sig));
     }
 
     #[test]

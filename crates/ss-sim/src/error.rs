@@ -1,0 +1,50 @@
+//! Typed simulation errors.
+//!
+//! PR 2 made the ss-sim hot paths panic-free; this module carries the
+//! typed errors those paths return instead of asserting on caller
+//! mistakes.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error from the cycle simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A tensor's element count does not match the convolution geometry
+    /// it was scheduled against.
+    GeometryMismatch {
+        /// Elements the geometry requires (`in_ch * in_h * in_w`).
+        expected: usize,
+        /// Elements the tensor actually holds.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::GeometryMismatch { expected, actual } => write!(
+                f,
+                "activation tensor does not match the geometry: \
+                 expected {expected} elements, got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_both_counts() {
+        let e = SimError::GeometryMismatch {
+            expected: 100,
+            actual: 7,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("100") && msg.contains('7'), "{msg}");
+    }
+}

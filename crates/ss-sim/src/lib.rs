@@ -33,6 +33,7 @@
 pub mod accel;
 pub mod area;
 pub mod energy;
+mod error;
 pub mod fusion;
 pub mod mem;
 pub mod sip;
@@ -42,6 +43,7 @@ pub mod workload;
 
 pub use accel::Accelerator;
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use error::SimError;
 pub use mem::{BufferConfig, DramConfig};
-pub use sim::{LayerResult, RunResult, SimConfig};
+pub use sim::{stall_cycles, LayerResult, RunResult, SimConfig};
 pub use workload::TensorSource;

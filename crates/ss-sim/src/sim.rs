@@ -3,6 +3,7 @@
 
 use ss_core::scheme::{CompressionScheme, SchemeCtx};
 use ss_models::stats::CALIBRATION_GROUP;
+use ss_trace::{Counter, LayerRecord, WidthCounts, WidthHist};
 
 use crate::accel::{Accelerator, LayerSignals};
 use crate::energy::{EnergyBreakdown, EnergyModel};
@@ -11,6 +12,22 @@ use crate::workload::TensorSource;
 
 /// Seed under which every model's (fixed) weights are generated.
 pub const MODEL_SEED: u64 = 0;
+
+/// Cycles the datapath idles waiting for memory under the overlap model
+/// (`wall = max(compute, memory)`): the excess of transfer over compute,
+/// zero for compute-bound layers.
+///
+/// This is the **single** stall definition in the workspace. Both pricing
+/// paths — [`simulate`] and [`RunResult::with_dram`] — call it, and
+/// [`LayerResult::stall_cycles`] reduces to the same expression, so the
+/// three cannot drift apart. `tests/stall_reference.rs` cross-checks all
+/// of them against a naive per-layer reference model (the audit found the
+/// two former `saturating_sub` sites consistent; unifying them here keeps
+/// it that way).
+#[must_use]
+pub fn stall_cycles(compute_cycles: u64, memory_cycles: u64) -> u64 {
+    memory_cycles.saturating_sub(compute_cycles)
+}
 
 /// Simulation-wide configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,9 +102,10 @@ impl LayerResult {
     }
 
     /// Cycles the datapath sits idle waiting for memory.
+    /// Equals [`stall_cycles`]`(compute, memory)`: `max(c, m) - c = max(0, m - c)`.
     #[must_use]
     pub fn stall_cycles(&self) -> u64 {
-        self.cycles() - self.compute_cycles
+        stall_cycles(self.compute_cycles, self.memory_cycles)
     }
 
     /// `true` when the layer is limited by arithmetic, not traffic.
@@ -171,7 +189,7 @@ impl RunResult {
             .iter()
             .map(|l| {
                 let memory_cycles = dram.cycles_for_bits(l.traffic_bits, cfg.clock_hz);
-                let stall = memory_cycles.saturating_sub(l.compute_cycles);
+                let stall = stall_cycles(l.compute_cycles, memory_cycles);
                 LayerResult {
                     name: l.name.clone(),
                     compute_cycles: l.compute_cycles,
@@ -325,7 +343,7 @@ pub fn simulate(
         };
         let compute_cycles = accel.compute_cycles(&signals);
 
-        let stall = memory_cycles.saturating_sub(compute_cycles);
+        let stall = stall_cycles(compute_cycles, memory_cycles);
         let sram_bits = base_traffic;
         let energy = EnergyBreakdown {
             dram_pj: traffic as f64 * cfg.energy.dram_pj_per_bit,
@@ -333,6 +351,54 @@ pub fn simulate(
             compute_pj: accel.compute_energy_pj(&signals, &cfg.energy),
             idle_pj: stall as f64 * cfg.energy.idle_pj_per_cycle,
         };
+
+        let rec = ss_trace::global();
+        if rec.enabled() {
+            rec.add(Counter::SimLayers, 1);
+            rec.add(Counter::SimComputeCycles, compute_cycles);
+            rec.add(Counter::SimMemoryCycles, memory_cycles);
+            rec.add(Counter::SimStallCycles, stall);
+            rec.add(Counter::SimTrafficBits, traffic);
+            rec.add(Counter::SimBaseTrafficBits, base_traffic);
+            rec.add(Counter::for_scheme(scheme.name()), traffic);
+            let paired = accel.composer_paired(&signals);
+            if paired {
+                rec.add(Counter::SimComposerPairedLayers, 1);
+            }
+            // Per-group EOG width distribution at the sync granularity —
+            // straight from the shared statistics when the sync group is a
+            // tracked size (it is, under the default config), else from
+            // the raw tensor.
+            let eog = act_in_stats
+                .group(cfg.sync_group)
+                .map(|g| WidthCounts::from(g.group_width_hist))
+                .unwrap_or_else(|| {
+                    let t = act_in.get();
+                    let signedness = t.dtype().signedness();
+                    let mut wc = WidthCounts::new();
+                    for group in t.values().chunks(cfg.sync_group.max(1)) {
+                        wc.observe(ss_tensor::width::group_width(group, signedness), 1);
+                    }
+                    wc
+                });
+            rec.record_widths(WidthHist::LayerEogWidth, &eog);
+            rec.record_layer(LayerRecord {
+                model: model.name().to_string(),
+                accel: accel.name().to_string(),
+                scheme: scheme.name().to_string(),
+                layer: layer.name().to_string(),
+                index: i,
+                compute_cycles,
+                memory_cycles,
+                stall_cycles: stall,
+                traffic_bits: traffic,
+                base_traffic_bits: base_traffic,
+                act_profiled: signals.act_profiled,
+                act_eff_sync: signals.act_eff_sync,
+                composer_paired: paired,
+                eog_width_hist: eog,
+            });
+        }
 
         layers.push(LayerResult {
             name: layer.name().to_string(),

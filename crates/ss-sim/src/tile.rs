@@ -13,6 +13,9 @@
 //! step of a convolution and sums exact step durations.
 
 use ss_tensor::{width, Signedness, Tensor};
+use ss_trace::{Counter, WidthCounts, WidthHist};
+
+use crate::SimError;
 
 /// Rows of SIPs per tile (windows processed concurrently).
 pub const TILE_ROWS: usize = 16;
@@ -50,8 +53,9 @@ impl ConvGeometry {
     /// Activation value at `(c, y, x)` of a channel-innermost flat tensor
     /// (the layout the zoo generates and the paper groups along).
     fn act(&self, acts: &Tensor, c: usize, y: usize, x: usize) -> i32 {
-        // ss-lint: allow(panic-freedom) -- tile_cycles asserts the tensor matches the
-        // geometry, and every caller stays within in_ch/in_h/in_w by loop construction
+        // ss-lint: allow(panic-freedom) -- tile_cycles rejects mismatched tensors with
+        // GeometryMismatch before the walk, and every caller stays within
+        // in_ch/in_h/in_w by loop construction
         acts.values()[(y * self.in_w + x) * self.in_ch + c]
     }
 }
@@ -64,19 +68,30 @@ impl ConvGeometry {
 /// SStripes takes their maximum (the EOG of the slowest row), clamped to
 /// one cycle.
 ///
-/// # Panics
+/// With a collecting [`ss_trace`] recorder installed, the walk records
+/// step/cycle counters and the worst-row EOG width of every synchronized
+/// broadcast step ([`WidthHist::TileStepWidth`]).
 ///
-/// Panics if the tensor does not match the geometry.
+/// # Errors
+///
+/// Returns [`SimError::GeometryMismatch`] when the tensor's element count
+/// is not `in_ch * in_h * in_w`.
 pub fn tile_cycles(
     geom: &ConvGeometry,
     acts: &Tensor,
     mut step_width: impl FnMut(&[u8]) -> u64,
-) -> u64 {
-    assert_eq!(
-        acts.len(),
-        geom.in_ch * geom.in_h * geom.in_w,
-        "activation tensor does not match the geometry"
-    );
+) -> Result<u64, SimError> {
+    let expected = geom.in_ch * geom.in_h * geom.in_w;
+    if acts.len() != expected {
+        return Err(SimError::GeometryMismatch {
+            expected,
+            actual: acts.len(),
+        });
+    }
+    let rec = ss_trace::global();
+    let tracing = rec.enabled();
+    let mut steps = 0u64;
+    let mut step_widths = WidthCounts::new();
     let filter_blocks = geom.out_ch.div_ceil(geom.concurrent_filters) as u64;
     let mut cycles = 0u64;
     let mut widths = Vec::with_capacity(TILE_ROWS);
@@ -101,13 +116,24 @@ pub fn tile_cycles(
                             let live = &group[..c1 - c0];
                             widths.push(width::group_width(live, Signedness::Unsigned));
                         }
+                        if tracing {
+                            steps += 1;
+                            let worst = widths.iter().copied().max().unwrap_or(0);
+                            step_widths.observe(worst, 1);
+                        }
                         cycles += step_width(&widths);
                     }
                 }
             }
         }
     }
-    cycles * filter_blocks
+    let total = cycles * filter_blocks;
+    if tracing {
+        rec.add(Counter::TileSteps, steps);
+        rec.add(Counter::TileCycles, total);
+        rec.record_widths(WidthHist::TileStepWidth, &step_widths);
+    }
+    Ok(total)
 }
 
 /// Step duration under original Stripes: the layer's profiled width,
@@ -150,7 +176,7 @@ mod tests {
         let g = geom();
         let a = acts(&g, 4.0, 1);
         let profiled = 11u8;
-        let cycles = tile_cycles(&g, &a, stripes_step(profiled));
+        let cycles = tile_cycles(&g, &a, stripes_step(profiled)).unwrap();
         // Steps: out_h x ceil(out_w/16) x kh x kw x ceil(C/16), times
         // filter blocks, each lasting the profile.
         let steps = (g.out_h() * g.out_w().div_ceil(TILE_ROWS) * g.kh * g.kw * 2) as u64;
@@ -164,12 +190,12 @@ mod tests {
         for seed in 0..5 {
             let a = acts(&g, 4.5, seed);
             let profiled = a.profiled_width();
-            let stripes = tile_cycles(&g, &a, stripes_step(profiled));
-            let sstripes = tile_cycles(&g, &a, sstripes_step());
+            let stripes = tile_cycles(&g, &a, stripes_step(profiled)).unwrap();
+            let sstripes = tile_cycles(&g, &a, sstripes_step()).unwrap();
             assert!(sstripes <= stripes, "seed {seed}");
             // Content matters: narrower values, fewer cycles.
             let narrow = acts(&g, 2.5, seed + 100);
-            let narrow_cycles = tile_cycles(&g, &narrow, sstripes_step());
+            let narrow_cycles = tile_cycles(&g, &narrow, sstripes_step()).unwrap();
             assert!(narrow_cycles < sstripes, "seed {seed}");
         }
     }
@@ -193,7 +219,7 @@ mod tests {
             concurrent_filters: 16,
         };
         let a = acts(&g, 4.5, 42);
-        let exact = tile_cycles(&g, &a, sstripes_step()) as f64;
+        let exact = tile_cycles(&g, &a, sstripes_step()).unwrap() as f64;
         let macs = (g.out_ch * g.in_ch * g.kh * g.kw * g.out_h() * g.out_w()) as u64;
         // Lanes live in this one tile: concurrent_filters x 16 rows x 16.
         let lanes = (g.concurrent_filters * TILE_ROWS * SIP_CHANNELS) as f64;
@@ -221,7 +247,26 @@ mod tests {
         };
         let a = acts(&g, 3.0, 7);
         // Single output position, one channel group, 9 kernel offsets.
-        let c = tile_cycles(&g, &a, stripes_step(8));
+        let c = tile_cycles(&g, &a, stripes_step(8)).unwrap();
         assert_eq!(c, 9 * 8);
+    }
+
+    #[test]
+    fn mismatched_tensor_is_a_typed_error_not_a_panic() {
+        let g = geom();
+        // A tensor one element short of the geometry's requirement.
+        let short = ValueGen::from_width_target(4.0, 0.5, FixedType::U16)
+            .tensor_flat(g.in_ch * g.in_h * g.in_w - 1, 3);
+        let err = tile_cycles(&g, &short, sstripes_step()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::GeometryMismatch {
+                expected: g.in_ch * g.in_h * g.in_w,
+                actual: g.in_ch * g.in_h * g.in_w - 1,
+            }
+        );
+        // And an empty tensor.
+        let empty = ValueGen::from_width_target(4.0, 0.5, FixedType::U16).tensor_flat(0, 3);
+        assert!(tile_cycles(&g, &empty, sstripes_step()).is_err());
     }
 }

@@ -1,0 +1,252 @@
+//! The fixed metric schema: counters and width histograms.
+//!
+//! The schema is an enum rather than string keys so that the collecting
+//! recorder can be a plain array of atomics — no map, no lock, no
+//! allocation on the hot path — and so that a counter name typo is a
+//! compile error rather than a silently separate time series.
+
+/// Width histogram bucket count: widths 0..=32 (i32 magnitude + sign),
+/// matching `ss-tensor`'s `TensorStats` bucketing so histograms from the
+/// two layers can be compared entry for entry.
+pub const WIDTH_BUCKETS: usize = 33;
+
+macro_rules! metric_enum {
+    ($(#[$doc:meta])* $name:ident { $($(#[$vdoc:meta])* $variant:ident => $label:literal,)+ }) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum $name {
+            $($(#[$vdoc])* $variant,)+
+        }
+
+        impl $name {
+            /// Every variant, in declaration (= export) order.
+            pub const ALL: &'static [$name] = &[$($name::$variant),+];
+
+            /// Number of variants (the backing array length).
+            pub const COUNT: usize = $name::ALL.len();
+
+            /// Stable snake_case name used in the JSON export.
+            #[must_use]
+            pub fn name(self) -> &'static str {
+                match self {
+                    $($name::$variant => $label,)+
+                }
+            }
+
+            /// Index into the collecting recorder's backing array.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self as usize
+            }
+        }
+    };
+}
+
+metric_enum! {
+    /// A monotonically increasing event/quantity counter.
+    Counter {
+        /// Codec `encode` invocations.
+        EncodeCalls => "encode_calls",
+        /// Values passed through `encode`.
+        EncodeValues => "encode_values",
+        /// Total stream bits produced by `encode`.
+        EncodeBits => "encode_bits",
+        /// `Z`-vector + `P`-prefix bits produced by `encode`.
+        EncodeMetadataBits => "encode_metadata_bits",
+        /// Payload bits produced by `encode`.
+        EncodePayloadBits => "encode_payload_bits",
+        /// Groups produced by `encode`.
+        EncodeGroups => "encode_groups",
+        /// Zero values elided (no payload emitted) by `encode`.
+        EncodeZerosElided => "encode_zeros_elided",
+        /// Codec `measure` invocations.
+        MeasureCalls => "measure_calls",
+        /// Values scanned by `measure`.
+        MeasureValues => "measure_values",
+        /// Stream bits accounted by `measure` (metadata + payload).
+        MeasureBits => "measure_bits",
+        /// Codec `decode` invocations.
+        DecodeCalls => "decode_calls",
+        /// Values reconstructed by `decode`.
+        DecodeValues => "decode_values",
+        /// Off-chip bits priced under the `Base` scheme.
+        SchemeBaseBits => "scheme_base_bits",
+        /// Off-chip bits priced under the `Profile` scheme.
+        SchemeProfileBits => "scheme_profile_bits",
+        /// Off-chip bits priced under the `ShapeShifter` scheme.
+        SchemeShapeShifterBits => "scheme_shapeshifter_bits",
+        /// Off-chip bits priced under the `ZeroRLE` scheme.
+        SchemeZeroRleBits => "scheme_zero_rle_bits",
+        /// Off-chip bits priced under any other scheme.
+        SchemeOtherBits => "scheme_other_bits",
+        /// Layers simulated.
+        SimLayers => "sim_layers",
+        /// Datapath cycles across simulated layers.
+        SimComputeCycles => "sim_compute_cycles",
+        /// Off-chip transfer cycles across simulated layers.
+        SimMemoryCycles => "sim_memory_cycles",
+        /// Cycles the datapath stalled waiting for memory.
+        SimStallCycles => "sim_stall_cycles",
+        /// Off-chip traffic bits under the active scheme.
+        SimTrafficBits => "sim_traffic_bits",
+        /// Off-chip traffic bits with no compression.
+        SimBaseTrafficBits => "sim_base_traffic_bits",
+        /// Layers the Composer ran in paired-SIP (>8b weight) mode.
+        SimComposerPairedLayers => "sim_composer_paired_layers",
+        /// Synchronized broadcast steps walked by the tile schedule.
+        TileSteps => "tile_steps",
+        /// Cycles accumulated by the tile schedule walk.
+        TileCycles => "tile_cycles",
+        /// Shared layer-statistics cache hits.
+        StatsCacheHits => "stats_cache_hits",
+        /// Shared layer-statistics cache misses.
+        StatsCacheMisses => "stats_cache_misses",
+        /// Layer records dropped because the trace buffer was full.
+        TraceLayersDropped => "trace_layers_dropped",
+        /// Span events dropped because the trace buffer was full.
+        TraceSpansDropped => "trace_spans_dropped",
+    }
+}
+
+metric_enum! {
+    /// A histogram over detected widths (bucket = exact width in bits).
+    WidthHist {
+        /// Per-group width of every group the codec encoded or measured.
+        CodecGroupWidth => "codec_group_width",
+        /// Worst-row EOG width of every synchronized tile broadcast step.
+        TileStepWidth => "tile_step_width",
+        /// Per-group EOG width at the sync granularity, aggregated over
+        /// every simulated layer (per-layer copies live in the layer
+        /// records).
+        LayerEogWidth => "layer_eog_width",
+    }
+}
+
+impl Counter {
+    /// Maps a compression scheme's display name onto its traffic counter
+    /// (anything unrecognized lands in [`Counter::SchemeOtherBits`]).
+    #[must_use]
+    pub fn for_scheme(name: &str) -> Counter {
+        match name {
+            "Base" => Counter::SchemeBaseBits,
+            "Profile" => Counter::SchemeProfileBits,
+            "ShapeShifter" => Counter::SchemeShapeShifterBits,
+            // `ZeroRle`'s display name (paper Figure 8 legend).
+            "Zero compression" => Counter::SchemeZeroRleBits,
+            _ => Counter::SchemeOtherBits,
+        }
+    }
+}
+
+/// A plain (non-atomic) width histogram: the local accumulator hot loops
+/// fill before submitting one merged batch to a recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WidthCounts {
+    buckets: [u64; WIDTH_BUCKETS],
+}
+
+impl WidthCounts {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; WIDTH_BUCKETS],
+        }
+    }
+
+    /// Adds `n` observations of `width` bits (widths beyond 32 saturate
+    /// into the last bucket, which cannot occur for i32 sign-magnitude).
+    pub fn observe(&mut self, width: u8, n: u64) {
+        let idx = (width as usize).min(WIDTH_BUCKETS - 1);
+        if let Some(bucket) = self.buckets.get_mut(idx) {
+            *bucket += n;
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &WidthCounts) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// The buckets, index = width in bits.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; WIDTH_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// `true` when nothing was observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+impl Default for WidthCounts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<[u64; WIDTH_BUCKETS]> for WidthCounts {
+    fn from(buckets: [u64; WIDTH_BUCKETS]) -> Self {
+        Self { buckets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_indices_are_dense_and_names_unique() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, h) in WidthHist::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn scheme_counter_mapping() {
+        assert_eq!(Counter::for_scheme("Base"), Counter::SchemeBaseBits);
+        assert_eq!(
+            Counter::for_scheme("ShapeShifter"),
+            Counter::SchemeShapeShifterBits
+        );
+        assert_eq!(
+            Counter::for_scheme("Zero compression"),
+            Counter::SchemeZeroRleBits
+        );
+        assert_eq!(
+            Counter::for_scheme("Delta-ShapeShifter"),
+            Counter::SchemeOtherBits
+        );
+    }
+
+    #[test]
+    fn width_counts_observe_merge_saturate() {
+        let mut a = WidthCounts::new();
+        assert!(a.is_empty());
+        a.observe(4, 10);
+        a.observe(200, 1); // saturates into the last bucket
+        let mut b = WidthCounts::new();
+        b.observe(4, 5);
+        a.merge(&b);
+        assert_eq!(a.buckets()[4], 15);
+        assert_eq!(a.buckets()[WIDTH_BUCKETS - 1], 1);
+        assert_eq!(a.total(), 16);
+    }
+}

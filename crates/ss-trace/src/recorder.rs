@@ -1,0 +1,212 @@
+//! The [`Recorder`] trait, the zero-overhead [`NoopRecorder`], and the
+//! event payloads hot layers submit.
+//!
+//! Design rule: a hot loop asks `recorder.enabled()` **once**, accumulates
+//! into plain local state ([`crate::WidthCounts`], integers) only when
+//! tracing, and submits one merged batch per call — so the disabled path
+//! costs a single predictable branch per codec/simulator invocation, not
+//! per value. The `Noop` default makes every submission a no-op that the
+//! optimizer deletes outright.
+
+use std::time::Instant;
+
+use crate::metric::{Counter, WidthCounts, WidthHist};
+
+/// Per-layer simulation record: everything the paper's evaluation figures
+/// derive from one layer, captured at simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRecord {
+    /// Model display name.
+    pub model: String,
+    /// Accelerator display name.
+    pub accel: String,
+    /// Compression scheme display name.
+    pub scheme: String,
+    /// Layer display name.
+    pub layer: String,
+    /// Layer index in network order.
+    pub index: usize,
+    /// Datapath cycles.
+    pub compute_cycles: u64,
+    /// Off-chip transfer cycles.
+    pub memory_cycles: u64,
+    /// Cycles the datapath idled waiting for memory.
+    pub stall_cycles: u64,
+    /// Off-chip traffic under the active scheme, in bits.
+    pub traffic_bits: u64,
+    /// Off-chip traffic with no compression, in bits.
+    pub base_traffic_bits: u64,
+    /// Per-layer profiled activation width.
+    pub act_profiled: u8,
+    /// Effective activation width at the sync group.
+    pub act_eff_sync: f64,
+    /// Whether the Composer paired SIP columns for this layer's weights.
+    pub composer_paired: bool,
+    /// Per-group EOG width histogram at the sync granularity.
+    pub eog_width_hist: WidthCounts,
+}
+
+/// A completed wall-clock span, in microseconds relative to the collecting
+/// recorder's epoch (Chrome trace-event `ts`/`dur` semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (experiment slug, model name, phase).
+    pub name: String,
+    /// Category, used as the Chrome trace `cat` field.
+    pub cat: &'static str,
+    /// Start offset from the recorder epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Submitting thread's dense id (Chrome trace `tid`).
+    pub tid: u64,
+}
+
+/// An observability sink. All methods default to no-ops so implementors
+/// opt into exactly the streams they collect; all take `&self` so one
+/// recorder can be shared across scoped worker threads.
+pub trait Recorder: Sync {
+    /// `true` when events are actually collected. Hot paths gate **all**
+    /// per-value work behind this so the disabled cost is one branch.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `n` to a counter.
+    fn add(&self, counter: Counter, n: u64) {
+        let _ = (counter, n);
+    }
+
+    /// Merges a locally-accumulated width histogram.
+    fn record_widths(&self, hist: WidthHist, counts: &WidthCounts) {
+        let _ = (hist, counts);
+    }
+
+    /// Submits one simulated layer's record.
+    fn record_layer(&self, record: LayerRecord) {
+        let _ = record;
+    }
+
+    /// Submits one completed span.
+    fn record_span(&self, span: SpanEvent) {
+        let _ = span;
+    }
+
+    /// Microseconds since this recorder's epoch (0 when disabled).
+    fn now_us(&self) -> u64 {
+        0
+    }
+}
+
+/// The default recorder: collects nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// A scoped wall-clock timer: records a [`SpanEvent`] on drop.
+///
+/// When the recorder is disabled the constructor does not even read the
+/// clock, so an un-traced span costs one branch and no syscalls.
+pub struct Span<'a> {
+    rec: &'a dyn Recorder,
+    name: String,
+    cat: &'static str,
+    start_us: u64,
+    started: Option<Instant>,
+}
+
+impl<'a> Span<'a> {
+    /// Opens a span against `rec`.
+    #[must_use]
+    pub fn enter(rec: &'a dyn Recorder, cat: &'static str, name: impl Into<String>) -> Self {
+        let started = rec.enabled().then(Instant::now);
+        Self {
+            rec,
+            name: name.into(),
+            cat,
+            start_us: if started.is_some() { rec.now_us() } else { 0 },
+            started,
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(t0) = self.started {
+            self.rec.record_span(SpanEvent {
+                name: std::mem::take(&mut self.name),
+                cat: self.cat,
+                start_us: self.start_us,
+                dur_us: t0.elapsed().as_micros() as u64,
+                tid: thread_tid(),
+            });
+        }
+    }
+}
+
+/// Dense per-thread id for Chrome trace `tid` fields: threads get 0, 1, 2…
+/// in first-span order, which keeps the trace viewer's lane list compact.
+fn thread_tid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn noop_is_disabled_and_inert() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.add(Counter::EncodeBits, 5);
+        rec.record_widths(WidthHist::CodecGroupWidth, &WidthCounts::new());
+        assert_eq!(rec.now_us(), 0);
+        // A span against a disabled recorder never reads the clock.
+        let span = Span::enter(&rec, "test", "nothing");
+        assert!(span.started.is_none());
+        drop(span);
+    }
+
+    struct CountingRecorder {
+        spans: AtomicU64,
+    }
+
+    impl Recorder for CountingRecorder {
+        fn enabled(&self) -> bool {
+            true
+        }
+        fn record_span(&self, span: SpanEvent) {
+            assert_eq!(span.name, "work");
+            assert_eq!(span.cat, "unit");
+            self.spans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn span_records_on_drop_when_enabled() {
+        let rec = CountingRecorder {
+            spans: AtomicU64::new(0),
+        };
+        {
+            let _span = Span::enter(&rec, "unit", "work");
+            assert_eq!(rec.spans.load(Ordering::Relaxed), 0);
+        }
+        assert_eq!(rec.spans.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn thread_tids_are_distinct() {
+        let here = thread_tid();
+        let there = std::thread::spawn(thread_tid).join().unwrap();
+        assert_ne!(here, there);
+        // Stable within a thread.
+        assert_eq!(here, thread_tid());
+    }
+}

@@ -31,4 +31,8 @@ cargo test -q -p ss-core --test codec_properties
 cargo test -q -p ss-bitio --test roundtrip
 
 echo
+echo "== ss-trace overhead gate (NoopRecorder must be free) =="
+cargo run --release -q -p ss-bench --bin perf_baseline -- --overhead-gate
+
+echo
 echo "analysis gate: all checks passed"

@@ -1,8 +1,9 @@
 //! Codec and harness performance baseline.
 //!
 //! Times the ShapeShifter codec's encode / measure / decode paths on a
-//! 4M-value skewed tensor at 1 and 8 worker threads, plus one
-//! representative traffic sweep (cold, then warm against the shared
+//! 4M-value skewed tensor at 1 and 8 worker threads — decode included,
+//! since the container-v2 chunk index gives decode a parallel path — plus
+//! one representative traffic sweep (cold, then warm against the shared
 //! statistics cache).
 //!
 //! Output is split so that repeated runs never churn checked-in files
@@ -17,12 +18,18 @@
 //!   `--update-timings`; plain runs print timings to stdout and leave
 //!   the file alone.
 //!
-//! `--overhead-gate` runs the ss-trace overhead check instead: it times
-//! the measure path with the default `NoopRecorder` and again with a
-//! collecting `TraceRecorder` installed, and fails (exit 1) if even the
-//! *enabled* recorder costs more than 50% — the disabled path only pays
-//! an `enabled()` branch per chunk, so it is bounded above by the
-//! enabled cost. `scripts/analysis.sh` runs this gate.
+//! `--overhead-gate` runs two checks instead of the baseline:
+//!
+//! 1. the ss-trace overhead check — it times the measure path with the
+//!    default `NoopRecorder` and again with a collecting `TraceRecorder`
+//!    installed, and fails (exit 1) if even the *enabled* recorder costs
+//!    more than 50% (the disabled path only pays an `enabled()` branch
+//!    per chunk, so it is bounded above by the enabled cost);
+//! 2. the chunk-index metadata gate — the `Auto`-policy index on the
+//!    pinned tensor must cost at most 0.01 bits/value, a deterministic
+//!    bound (the index is a pure function of the configuration).
+//!
+//! `scripts/analysis.sh` and `scripts/tier1.sh` run this gate.
 //!
 //! The inputs are pinned — geometry, seed, group size and thread counts
 //! are hard-coded — so successive runs of the binary are comparable
@@ -51,6 +58,10 @@ const GATE_REPS: usize = 7;
 /// The enabled recorder may cost at most this fraction extra on the
 /// measure path; the disabled (`NoopRecorder`) cost is strictly below it.
 const GATE_MAX_OVERHEAD: f64 = 0.50;
+/// The `Auto`-policy chunk index on the pinned tensor may cost at most
+/// this many bits of metadata per encoded value. Deterministic: the
+/// index depends only on the configuration, never on the host.
+const GATE_MAX_INDEX_BITS_PER_VALUE: f64 = 0.01;
 
 /// The paper's skewed value population: mostly near-zero, some zeros,
 /// rare wide values — deterministic, no RNG dependency.
@@ -130,6 +141,26 @@ fn overhead_gate() -> std::io::Result<()> {
         std::process::exit(1);
     }
     println!("trace overhead gate: PASS");
+
+    // Chunk-index metadata gate: the default (`Auto`) policy must keep
+    // the index a rounding error next to the stream. This bound is
+    // deterministic — same result on every host.
+    let encoded = codec.encode(&tensor).expect("encode");
+    let index = encoded
+        .index()
+        .expect("the pinned tensor is large enough to earn an Auto index");
+    let per_value = encoded.index_bits() as f64 / VALUES as f64;
+    println!(
+        "chunk index: {} chunks of {} groups, {} bits ({per_value:.6} bits/value; gate: <= {GATE_MAX_INDEX_BITS_PER_VALUE})",
+        index.chunk_count(),
+        index.chunk_groups(),
+        encoded.index_bits()
+    );
+    if per_value > GATE_MAX_INDEX_BITS_PER_VALUE {
+        eprintln!("index overhead gate: FAIL");
+        std::process::exit(1);
+    }
+    println!("index overhead gate: PASS");
     Ok(())
 }
 
@@ -171,11 +202,25 @@ fn main() -> std::io::Result<()> {
         measure_ms.push(ms);
     }
     let encoded = encoded.expect("THREADS is non-empty");
-    let (decode_ms, back) = best_of(|| codec.decode(&encoded).expect("decode"));
-    assert_eq!(back, tensor, "decode must round-trip");
+    let mut decode_ms = Vec::new();
+    for &t in &THREADS {
+        let (ms, back) = best_of(|| codec.decode_with_threads(&encoded, t).expect("decode"));
+        assert_eq!(back, tensor, "decode must round-trip");
+        println!(
+            "decode  threads={t}: {ms:>8.2} ms  ({:.1} Mvalues/s)",
+            mvalues_per_s(ms)
+        );
+        decode_ms.push(ms);
+    }
+    let index_bits = encoded.index_bits();
+    let index = encoded
+        .index()
+        .expect("the pinned tensor is large enough to earn an Auto index");
     println!(
-        "decode  (sequential): {decode_ms:>8.2} ms  ({:.1} Mvalues/s)",
-        mvalues_per_s(decode_ms)
+        "chunk index: {} chunks of {} groups, {index_bits} bits ({:.6} bits/value)",
+        index.chunk_count(),
+        index.chunk_groups(),
+        index_bits as f64 / VALUES as f64
     );
 
     // Representative traffic sweep: one 16-bit model, the Figure 8 scheme
@@ -212,13 +257,22 @@ fn main() -> std::io::Result<()> {
     "threads_compared": [{t0c}, {t1c}]
   }},
   "encoded_bits": {bits},
-  "compression_ratio": {ratio:.4}
+  "compression_ratio": {ratio:.4},
+  "index": {{
+    "chunks": {chunks},
+    "chunk_groups": {chunk_groups},
+    "index_bits": {index_bits},
+    "overhead_bits_per_value": {per_value:.6}
+  }}
 }}
 "#,
         t0c = THREADS[0],
         t1c = THREADS[1],
         bits = encoded.bit_len(),
         ratio = encoded.bit_len() as f64 / tensor.container_bits() as f64,
+        chunks = index.chunk_count(),
+        chunk_groups = index.chunk_groups(),
+        per_value = index_bits as f64 / VALUES as f64,
     );
     std::fs::File::create(&out)?.write_all(json.as_bytes())?;
     println!("wrote {out}");
@@ -230,7 +284,7 @@ fn main() -> std::io::Result<()> {
   "host": {{ "available_parallelism": {host_threads} }},
   "encode_ms": {{ "t{t0c}": {e0:.3}, "t{t1c}": {e1:.3}, "speedup": {es:.3} }},
   "measure_ms": {{ "t{t0c}": {m0:.3}, "t{t1c}": {m1:.3}, "speedup": {ms_:.3} }},
-  "decode_ms": {d:.3},
+  "decode_ms": {{ "t{t0c}": {d0:.3}, "t{t1c}": {d1:.3}, "speedup": {ds:.3} }},
   "traffic_sweep_ms": {{ "cold": {sc:.3}, "warm": {sw:.3} }}
 }}
 "#,
@@ -242,7 +296,9 @@ fn main() -> std::io::Result<()> {
             m0 = measure_ms[0],
             m1 = measure_ms[1],
             ms_ = speedup(&measure_ms),
-            d = decode_ms,
+            d0 = decode_ms[0],
+            d1 = decode_ms[1],
+            ds = speedup(&decode_ms),
             sc = sweep_cold_ms,
             sw = sweep_warm_ms,
         );

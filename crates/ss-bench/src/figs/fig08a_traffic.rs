@@ -7,7 +7,7 @@ use std::io::{self, Write};
 use ss_core::scheme::{Base, CompressionScheme, ProfileScheme, ShapeShifterScheme, ZeroRle};
 use ss_sim::TensorSource;
 
-use crate::suites::{suite_16b, suite_ra8, suite_tf8, traffic_totals};
+use crate::suites::{index_overhead_probe, suite_16b, suite_ra8, suite_tf8, traffic_totals};
 use crate::{geomean, header, row};
 
 /// Relative traffic (vs Base) for one model under Profile / ShapeShifter /
@@ -65,7 +65,25 @@ pub fn run(out: &mut impl Write) -> io::Result<()> {
     let ra8 = suite_ra8();
     let refs_ra: Vec<&(dyn TensorSource + Sync)> = ra8.iter().map(|n| n as &(dyn TensorSource + Sync)).collect();
     section(out, "8b Range-Aware quantized", &refs_ra, 1)?;
-    Ok(())
+
+    // Container-v2 footnote: the chunk index that enables parallel decode
+    // is metadata *outside* the stream bits counted above. Probe it on
+    // each 16b model's largest weight tensor (round-tripped through the
+    // `SS_THREADS`-aware decode path) so the overhead is on record next
+    // to the traffic it rides along with.
+    writeln!(
+        out,
+        "## Container-v2 chunk-index overhead (largest weight tensor; not in the columns above)"
+    )?;
+    for m in &refs16 {
+        let (layer, chunks, bits, per_value) = index_overhead_probe(*m);
+        writeln!(
+            out,
+            "{:<24} {layer:<10} {chunks:>3} chunks {bits:>6} bits  {per_value:.6} bits/value",
+            m.name()
+        )?;
+    }
+    writeln!(out)
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 //! scheme from each layer's shared one-pass statistics.
 
 use ss_core::scheme::{CompressionScheme, SchemeCtx};
+use ss_core::ShapeShifterCodec;
 use ss_models::Network;
 use ss_quant::{QuantMethod, QuantizedNetwork};
 use ss_sim::sim::MODEL_SEED;
@@ -121,6 +122,42 @@ pub fn traffic_totals(
     totals
 }
 
+/// Container-v2 overhead probe: encodes the model's largest weight
+/// tensor under the codec's default (`Auto`) chunk-index policy,
+/// round-trips it through the thread-aware decode path (which honors
+/// `SS_THREADS`, the same knob as the rest of the harness), and returns
+/// `(layer_name, chunks, index_bits, index_bits_per_value)`.
+///
+/// This is the metadata the v2 container adds *on top of* the stream
+/// bits the Figure 8 scheme columns count — reported separately so the
+/// traffic accounting stays comparable to the paper. `chunks == 0` (and
+/// zero overhead) means the tensor stayed below the `Auto` threshold and
+/// the container is written as v1.
+///
+/// # Panics
+///
+/// Panics if the codec fails to round-trip the tensor bit-identically —
+/// that is a codec defect, not a measurement outcome.
+#[must_use]
+pub fn index_overhead_probe(model: &dyn TensorSource) -> (String, usize, u64, f64) {
+    let layers = model.layers();
+    let i = (0..layers.len())
+        .max_by_key(|&i| layers[i].weight_count())
+        .expect("zoo models have at least one layer");
+    let name = layers[i].name().to_owned();
+    let tensor = model.weight_tensor(i, MODEL_SEED);
+    let codec = ShapeShifterCodec::new(16);
+    let enc = codec.encode(&tensor).expect("encode");
+    assert_eq!(
+        codec.decode(&enc).expect("decode"),
+        tensor,
+        "indexed round-trip must be bit-identical"
+    );
+    let chunks = enc.index().map_or(0, ss_core::ChunkIndex::chunk_count);
+    let bits = enc.index_bits();
+    (name, chunks, bits, bits as f64 / tensor.len().max(1) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +173,18 @@ mod tests {
         assert_eq!(t.len(), 3);
         // ShapeShifter must beat Base on the skewed zoo distributions.
         assert!(t[1] < t[0]);
+    }
+
+    #[test]
+    fn index_overhead_probe_reports_v2_metadata() {
+        // Even scaled down, AlexNet's largest FC weight tensor clears the
+        // Auto threshold and earns a chunk index.
+        let net = ss_models::zoo::alexnet().scaled_down(4);
+        let (layer, chunks, bits, per_value) = index_overhead_probe(&net);
+        assert!(!layer.is_empty());
+        assert!(chunks > 1, "largest layer should be chunked, got {chunks}");
+        assert!(bits > 0);
+        assert!(per_value < 0.01, "index overhead {per_value} bits/value");
     }
 
     #[test]

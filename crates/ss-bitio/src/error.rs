@@ -43,6 +43,15 @@ pub enum BitIoError {
         /// The byte-buffer length that cannot back it.
         bytes: usize,
     },
+    /// A bit range is inverted or extends past the backing buffer.
+    InvalidRange {
+        /// First readable bit (inclusive).
+        start: u64,
+        /// One past the last readable bit.
+        end: u64,
+        /// Bits the backing buffer actually holds.
+        len: u64,
+    },
 }
 
 impl fmt::Display for BitIoError {
@@ -68,6 +77,12 @@ impl fmt::Display for BitIoError {
                 write!(
                     f,
                     "stream declares {bit_len} bits but only {bytes} bytes are present"
+                )
+            }
+            BitIoError::InvalidRange { start, end, len } => {
+                write!(
+                    f,
+                    "bit range {start}..{end} is invalid for a {len}-bit buffer"
                 )
             }
         }

@@ -34,7 +34,10 @@ pub struct BitReader<'a> {
     bytes: &'a [u8],
     /// Next bit to read, as an absolute bit index.
     pos: u64,
-    /// Total readable bits (defaults to `bytes.len() * 8`).
+    /// First readable bit (0 except for range-limited readers).
+    start: u64,
+    /// Total readable bits (defaults to `bytes.len() * 8`); a
+    /// range-limited reader's exclusive upper bound.
     bit_len: u64,
 }
 
@@ -45,6 +48,7 @@ impl<'a> BitReader<'a> {
         Self {
             bytes,
             pos: 0,
+            start: 0,
             bit_len: bytes.len() as u64 * 8,
         }
     }
@@ -68,14 +72,58 @@ impl<'a> BitReader<'a> {
         Self {
             bytes,
             pos: 0,
+            start: 0,
             bit_len,
         }
+    }
+
+    /// Creates a reader confined to the bit range `start..end` of `bytes`.
+    ///
+    /// The reader starts positioned at `start` and refuses to read or seek
+    /// outside the range — this is the primitive behind indexed parallel
+    /// decode, where each worker resumes at a recorded chunk offset and a
+    /// corrupt chunk must not be able to consume its neighbour's bits.
+    /// [`BitReader::position`] stays an *absolute* offset into `bytes`, so
+    /// recorded positions remain comparable across readers.
+    ///
+    /// # Errors
+    ///
+    /// [`BitIoError::InvalidRange`] if `start > end` or `end` exceeds
+    /// `bytes.len() * 8`.
+    pub fn with_bit_range(bytes: &'a [u8], start: u64, end: u64) -> Result<Self, BitIoError> {
+        let capacity = bytes.len() as u64 * 8;
+        if start > end || end > capacity {
+            return Err(BitIoError::InvalidRange {
+                start,
+                end,
+                len: capacity,
+            });
+        }
+        Ok(Self {
+            bytes,
+            pos: start,
+            start,
+            bit_len: end,
+        })
     }
 
     /// Current absolute bit position (bits consumed so far).
     #[must_use]
     pub fn position(&self) -> u64 {
         self.pos
+    }
+
+    /// First readable bit of this reader's range (0 unless constructed via
+    /// [`BitReader::with_bit_range`]).
+    #[must_use]
+    pub fn range_start(&self) -> u64 {
+        self.start
+    }
+
+    /// Bits consumed since the start of this reader's range.
+    #[must_use]
+    pub fn consumed_bits(&self) -> u64 {
+        self.pos - self.start
     }
 
     /// Total length of the stream in bits.
@@ -104,9 +152,10 @@ impl<'a> BitReader<'a> {
     ///
     /// # Errors
     ///
-    /// [`BitIoError::SeekOutOfBounds`] if `position > self.bit_len()`.
+    /// [`BitIoError::SeekOutOfBounds`] if `position > self.bit_len()` or,
+    /// for a range-limited reader, before the start of its range.
     pub fn seek(&mut self, position: u64) -> Result<(), BitIoError> {
-        if position > self.bit_len {
+        if position > self.bit_len || position < self.start {
             return Err(BitIoError::SeekOutOfBounds {
                 position,
                 len: self.bit_len,
@@ -301,6 +350,53 @@ mod tests {
         assert_eq!(r.position(), 16);
         assert!(r.skip_bits(17).is_err());
         assert_eq!(r.position(), 16, "failed skip must not move");
+    }
+
+    #[test]
+    fn range_reader_is_confined_to_its_window() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3).unwrap(); // chunk 0
+        w.write_bits(0xAB, 8).unwrap(); // chunk 1: bits 3..11
+        w.write_bits(0b11, 2).unwrap(); // chunk 2
+        let bytes = w.into_bytes();
+
+        let mut r = BitReader::with_bit_range(&bytes, 3, 11).unwrap();
+        assert_eq!(r.position(), 3);
+        assert_eq!(r.range_start(), 3);
+        assert_eq!(r.remaining_bits(), 8);
+        assert_eq!(r.read_bits(8).unwrap(), 0xAB);
+        assert!(r.is_at_end());
+        assert_eq!(r.consumed_bits(), 8);
+        // The window is a hard wall in both directions.
+        assert!(r.read_bit().is_err());
+        assert!(r.seek(2).is_err(), "seek before range start must fail");
+        assert!(r.seek(12).is_err(), "seek past range end must fail");
+        r.seek(3).unwrap();
+        assert_eq!(r.read_bits(4).unwrap(), 0xB);
+    }
+
+    #[test]
+    fn invalid_ranges_are_rejected() {
+        let bytes = [0u8; 2];
+        assert_eq!(
+            BitReader::with_bit_range(&bytes, 9, 3).unwrap_err(),
+            BitIoError::InvalidRange {
+                start: 9,
+                end: 3,
+                len: 16
+            }
+        );
+        assert_eq!(
+            BitReader::with_bit_range(&bytes, 0, 17).unwrap_err(),
+            BitIoError::InvalidRange {
+                start: 0,
+                end: 17,
+                len: 16
+            }
+        );
+        // An empty range at the very end is legal and immediately at end.
+        let r = BitReader::with_bit_range(&bytes, 16, 16).unwrap();
+        assert!(r.is_at_end());
     }
 
     #[test]

@@ -19,6 +19,8 @@
 
 use ss_tensor::width;
 
+use crate::index::ChunkIndex;
+
 /// Cross-checks one decoded group: the `Z` population count (masked to
 /// `group_len`) must account for exactly the slots the payload loop did
 /// not fill, and the declared width must be in `1..=container_bits`.
@@ -80,6 +82,28 @@ pub(crate) fn canonical_payload(raw: u64, value: i32, p: u8, signed: bool, index
     debug_assert!(
         reencoded == raw,
         "payload at index {index}: value {value} re-encodes to {reencoded:#x}, stream held {raw:#x}"
+    );
+}
+
+/// Cross-checks the chunk index the encoder just built against the stream
+/// it describes: the index must validate against its own framing rules for
+/// exactly this (group size, stream length, element count) triple. Encode
+/// builds both from the same pass, so a failure here is an encoder bug,
+/// never an input property.
+#[inline]
+pub(crate) fn index_bookkeeping(
+    index: &ChunkIndex,
+    group_size: usize,
+    bit_len: u64,
+    len: usize,
+) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    debug_assert!(
+        index.validate(group_size, bit_len, len).is_ok(),
+        "encoder-built index fails its own validation: {:?}",
+        index.validate(group_size, bit_len, len)
     );
 }
 

@@ -4,11 +4,56 @@ use ss_bitio::{BitReader, BitWriter};
 use ss_tensor::{width, FixedType, Shape, Signedness, Tensor};
 use ss_trace::{Counter, WidthCounts, WidthHist};
 
+use crate::index::{ChunkEntry, ChunkIndex};
 use crate::{checked, par, CodecError, WidthDetector};
 
 /// Below this many values the automatic paths stay sequential: spawning and
 /// splicing costs more than the encode itself on small tensors.
 const PARALLEL_MIN_VALUES: usize = 1 << 16;
+
+/// The [`IndexPolicy::Auto`] chunking floor: a chunk covers at least this
+/// many values, so the per-chunk decode work dwarfs the seek + join cost.
+const AUTO_CHUNK_MIN_VALUES: usize = 1 << 16;
+
+/// The [`IndexPolicy::Auto`] chunk-count ceiling: however large the
+/// tensor, the index stays a few dozen entries (and the parallel paths
+/// spawn a bounded number of workers).
+const AUTO_MAX_CHUNKS: usize = 64;
+
+/// When (and how) `encode` writes the container-v2 chunk index.
+///
+/// The policy is a property of the *codec configuration*, never of the
+/// encode-time thread count: encoding the same tensor with 1 or 8 workers
+/// produces the same index (and the same stream bytes), so the v2
+/// container is deterministic across hosts — a requirement for the
+/// golden-vector suite and the checked-in `BENCH_codec.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IndexPolicy {
+    /// Never write an index: the v1 container, byte-identical to what
+    /// every earlier release produced.
+    None,
+    /// Cut the stream every this-many groups. Chunk sizes this small only
+    /// make sense in tests and golden vectors; production use wants
+    /// [`IndexPolicy::Auto`].
+    EveryGroups(usize),
+    /// Index tensors that span more than one chunk, sizing chunks to
+    /// cover at least [`AUTO_CHUNK_MIN_VALUES`] values and capping the
+    /// index at [`AUTO_MAX_CHUNKS`] entries. Small tensors stay v1 —
+    /// their index would cost more than the parallelism recovers.
+    #[default]
+    Auto,
+}
+
+/// One indexed chunk's bit range and value/group window, precomputed so
+/// decode workers can parse their runs without touching shared state.
+struct ChunkSpan {
+    chunk: usize,
+    start: u64,
+    end: u64,
+    values: usize,
+    value_base: usize,
+    group_base: usize,
+}
 
 /// One worker's contribution to a parallel encode.
 struct ChunkStream {
@@ -37,6 +82,7 @@ struct ChunkStream {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ShapeShifterCodec {
     group_size: usize,
+    index_policy: IndexPolicy,
 }
 
 /// An encoded tensor: the packed stream plus the metadata needed to decode
@@ -51,6 +97,9 @@ pub struct EncodedTensor {
     groups: usize,
     metadata_bits: u64,
     payload_bits: u64,
+    /// Container-v2 chunk index, when the codec's policy wrote one. The
+    /// stream bytes are identical either way; the index is side metadata.
+    index: Option<ChunkIndex>,
 }
 
 impl ShapeShifterCodec {
@@ -67,13 +116,57 @@ impl ShapeShifterCodec {
             (1..=256).contains(&group_size),
             "group size {group_size} outside 1..=256"
         );
-        Self { group_size }
+        Self {
+            group_size,
+            index_policy: IndexPolicy::Auto,
+        }
+    }
+
+    /// The same codec with a different chunk-index policy (builder style).
+    ///
+    /// `IndexPolicy::None` reproduces the v1 container byte-for-byte;
+    /// `IndexPolicy::EveryGroups(n)` pins the chunk size for tests and
+    /// golden vectors. The policy changes only whether an index travels
+    /// alongside the stream — the stream bytes themselves are identical
+    /// under every policy.
+    #[must_use]
+    pub fn with_index_policy(mut self, policy: IndexPolicy) -> Self {
+        self.index_policy = policy;
+        self
     }
 
     /// The configured group size.
     #[must_use]
     pub fn group_size(&self) -> usize {
         self.group_size
+    }
+
+    /// The configured chunk-index policy.
+    #[must_use]
+    pub fn index_policy(&self) -> IndexPolicy {
+        self.index_policy
+    }
+
+    /// Resolves the index policy for a tensor of `len` values: `Some`
+    /// groups-per-chunk when an index is worth writing (the tensor spans
+    /// more than one chunk), `None` for a v1 stream.
+    fn index_chunk_groups(&self, len: usize) -> Option<usize> {
+        let chunk_groups = match self.index_policy {
+            IndexPolicy::None => return None,
+            IndexPolicy::EveryGroups(n) => n.max(1),
+            IndexPolicy::Auto => {
+                let per_chunk = AUTO_CHUNK_MIN_VALUES.max(len.div_ceil(AUTO_MAX_CHUNKS));
+                per_chunk.div_ceil(self.group_size)
+            }
+        };
+        // The serialized index stores groups-per-chunk in a u32; a policy
+        // that somehow exceeds it falls back to an unindexed stream rather
+        // than truncating.
+        if chunk_groups > u32::MAX as usize {
+            return None;
+        }
+        let chunk_values = chunk_groups.saturating_mul(self.group_size);
+        (len > chunk_values).then_some(chunk_groups)
     }
 
     /// Encodes a tensor into a ShapeShifter stream.
@@ -119,31 +212,15 @@ impl ShapeShifterCodec {
         let dtype = tensor.dtype();
         let values = tensor.values();
         let capacity_hint = tensor.container_bits() / 2;
-        let chunk_values = par::chunk_values(values.len(), self.group_size, threads.max(1));
 
-        let chunk = if values.len() <= chunk_values {
-            // One worker would get everything: skip the workers entirely.
-            self.encode_chunk(values, dtype, capacity_hint)?
-        } else {
-            let chunk_count = values.len().div_ceil(chunk_values);
-            let per_chunk_hint = capacity_hint / chunk_count as u64;
-            let parts = par::scoped_map(values, chunk_values, |chunk| {
-                self.encode_chunk(chunk, dtype, per_chunk_hint)
-            });
-            let mut merged = ChunkStream {
-                w: BitWriter::with_capacity_bits(capacity_hint),
-                groups: 0,
-                metadata_bits: 0,
-                payload_bits: 0,
-            };
-            for part in parts {
-                let part = part?;
-                merged.groups += part.groups;
-                merged.metadata_bits += part.metadata_bits;
-                merged.payload_bits += part.payload_bits;
-                merged.w.append_writer(part.w)?;
+        let (chunk, index) = match self.index_chunk_groups(values.len()) {
+            Some(chunk_groups) => {
+                self.encode_indexed(values, dtype, capacity_hint, chunk_groups, threads)?
             }
-            merged
+            None => (
+                self.encode_unindexed(values, dtype, capacity_hint, threads)?,
+                None,
+            ),
         };
 
         let rec = ss_trace::global();
@@ -165,7 +242,106 @@ impl ShapeShifterCodec {
             groups: chunk.groups,
             metadata_bits: chunk.metadata_bits,
             payload_bits: chunk.payload_bits,
+            index,
         })
+    }
+
+    /// The v1 encode body: cut at thread-count-derived group boundaries,
+    /// encode the chunks on scoped workers, splice in order. No index is
+    /// recorded, so chunking is free to follow the worker count.
+    fn encode_unindexed(
+        &self,
+        values: &[i32],
+        dtype: FixedType,
+        capacity_hint: u64,
+        threads: usize,
+    ) -> Result<ChunkStream, CodecError> {
+        let chunk_values = par::chunk_values(values.len(), self.group_size, threads.max(1));
+        if values.len() <= chunk_values {
+            // One worker would get everything: skip the workers entirely.
+            return self.encode_chunk(values, dtype, capacity_hint);
+        }
+        let chunk_count = values.len().div_ceil(chunk_values);
+        let per_chunk_hint = capacity_hint / chunk_count as u64;
+        let parts = par::scoped_map(values, chunk_values, |chunk| {
+            self.encode_chunk(chunk, dtype, per_chunk_hint)
+        });
+        let mut merged = ChunkStream {
+            w: BitWriter::with_capacity_bits(capacity_hint),
+            groups: 0,
+            metadata_bits: 0,
+            payload_bits: 0,
+        };
+        for part in parts {
+            let part = part?;
+            merged.groups += part.groups;
+            merged.metadata_bits += part.metadata_bits;
+            merged.payload_bits += part.payload_bits;
+            merged.w.append_writer(part.w)?;
+        }
+        Ok(merged)
+    }
+
+    /// The v2 encode body: cut at the *index* chunk boundaries (a policy
+    /// decision, deliberately independent of the worker count so the
+    /// resulting container is deterministic), encode each chunk, and
+    /// record its bit offset and value count while splicing. Workers each
+    /// take a contiguous run of chunks, so `threads` stays the number of
+    /// OS threads spawned however many chunks the index has.
+    fn encode_indexed(
+        &self,
+        values: &[i32],
+        dtype: FixedType,
+        capacity_hint: u64,
+        chunk_groups: usize,
+        threads: usize,
+    ) -> Result<(ChunkStream, Option<ChunkIndex>), CodecError> {
+        // `index_chunk_groups` only returns sizes strictly below the
+        // tensor length, so the product cannot overflow and there are at
+        // least two chunks.
+        let chunk_values = chunk_groups * self.group_size;
+        let chunks: Vec<&[i32]> = values.chunks(chunk_values).collect();
+        let per_chunk_hint = capacity_hint / chunks.len() as u64;
+        let parts: Vec<Result<ChunkStream, CodecError>> = if threads.max(1) <= 1 {
+            chunks
+                .iter()
+                .map(|c| self.encode_chunk(c, dtype, per_chunk_hint))
+                .collect()
+        } else {
+            let per_worker = chunks.len().div_ceil(threads).max(1);
+            par::scoped_map(&chunks, per_worker, |run| {
+                run.iter()
+                    .map(|c| self.encode_chunk(c, dtype, per_chunk_hint))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        let mut merged = ChunkStream {
+            w: BitWriter::with_capacity_bits(capacity_hint),
+            groups: 0,
+            metadata_bits: 0,
+            payload_bits: 0,
+        };
+        let mut entries = Vec::with_capacity(chunks.len());
+        for (chunk, part) in chunks.iter().zip(parts) {
+            let part = part?;
+            entries.push(ChunkEntry {
+                bit_offset: merged.w.bit_len(),
+                values: chunk.len() as u64,
+            });
+            merged.groups += part.groups;
+            merged.metadata_bits += part.metadata_bits;
+            merged.payload_bits += part.payload_bits;
+            merged.w.append_writer(part.w)?;
+        }
+        // `index_chunk_groups` rejects chunk sizes beyond u32, so the cast
+        // is lossless.
+        // ss-lint: allow(truncating-cast) -- bounded by index_chunk_groups' u32 guard
+        let index = ChunkIndex::from_parts(chunk_groups as u32, entries)?;
+        checked::index_bookkeeping(&index, self.group_size, merged.w.bit_len(), values.len());
+        Ok((merged, Some(index)))
     }
 
     /// Sequentially encodes one group-aligned slice of values — the body
@@ -315,17 +491,25 @@ impl ShapeShifterCodec {
 
     /// Decodes a ShapeShifter stream back into the original tensor.
     ///
-    /// Decoding is **sequential by stream design** and deliberately stays
-    /// that way while encode parallelizes: a group's start position in the
-    /// stream is only known after the previous group's `Z` vector and `P`
-    /// prefix have been parsed (groups are packed back-to-back with no
-    /// alignment or chunk index — paper §3: "the incoming stream will be
-    /// decoded sequentially"). Splitting decode across threads would
-    /// require either a speculative scan to discover chunk offsets (a full
-    /// sequential parse anyway) or storing per-chunk offsets in the
-    /// container, which would change the stream format and its traffic
-    /// accounting. The hardware decompressor has the same property and
-    /// pipelines *within* the stream instead (Figure 6d).
+    /// Two paths exist, chosen by the container version:
+    ///
+    /// * **v1 (no chunk index)** — decoding is sequential by stream
+    ///   design: a group's start position is only known after the previous
+    ///   group's `Z` vector and `P` prefix have been parsed (groups are
+    ///   packed back-to-back with no alignment — paper §3: "the incoming
+    ///   stream will be decoded sequentially"). v1 streams decode exactly
+    ///   as every earlier release decoded them.
+    /// * **v2 (chunk index present)** — the container's optional index
+    ///   records each chunk's absolute bit offset and value count, so
+    ///   decode fans chunks out across [`par::scoped_map`] workers, each
+    ///   parsing its own range-confined reader, and splices the results
+    ///   back in order. The stream bytes are identical to v1 — the index
+    ///   is side metadata — so the output is **bit-identical** to the
+    ///   sequential parse (property-tested), and the sequential path
+    ///   remains the oracle.
+    ///
+    /// The worker count follows [`par::thread_count`] (`SS_THREADS` or the
+    /// machine's available parallelism); small tensors stay sequential.
     ///
     /// # Errors
     ///
@@ -334,14 +518,50 @@ impl ShapeShifterCodec {
     ///   if the stream's contents are inconsistent with its metadata.
     /// * [`CodecError::TrailingBits`] if the declared element count is
     ///   reached with stream bits left unconsumed.
+    /// * [`CodecError::CorruptIndex`] /
+    ///   [`CodecError::IndexOffsetOutOfBounds`] /
+    ///   [`CodecError::IndexChunkMismatch`] if a chunk index is present
+    ///   but disagrees with the framing metadata or the stream.
     pub fn decode(&self, encoded: &EncodedTensor) -> Result<Tensor, CodecError> {
+        let threads = if encoded.len < PARALLEL_MIN_VALUES {
+            1
+        } else {
+            par::thread_count()
+        };
+        self.decode_with_threads(encoded, threads)
+    }
+
+    /// [`ShapeShifterCodec::decode`] with an explicit worker count.
+    ///
+    /// `threads <= 1` always takes the sequential parse (an index, if
+    /// present, is ignored — the stream is self-contained); higher counts
+    /// fan indexed containers out regardless of tensor size, which is what
+    /// the differential tests and the perf baseline need. Unindexed (v1)
+    /// containers decode sequentially whatever `threads` says.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShapeShifterCodec::decode`].
+    pub fn decode_with_threads(
+        &self,
+        encoded: &EncodedTensor,
+        threads: usize,
+    ) -> Result<Tensor, CodecError> {
         let codec = ShapeShifterCodec::new(encoded.group_size);
-        let data = codec.decode_stream(
-            &encoded.bytes,
-            encoded.bit_len,
-            encoded.dtype,
-            encoded.len,
-        )?;
+        let data = match encoded.index.as_ref() {
+            Some(index) if threads > 1 && index.chunk_count() > 1 => codec
+                .decode_stream_indexed(
+                    &encoded.bytes,
+                    encoded.bit_len,
+                    encoded.dtype,
+                    encoded.len,
+                    index,
+                    threads,
+                )?,
+            _ => {
+                codec.decode_stream(&encoded.bytes, encoded.bit_len, encoded.dtype, encoded.len)?
+            }
+        };
         Ok(Tensor::from_vec(
             Shape::flat(encoded.len),
             encoded.dtype,
@@ -381,19 +601,169 @@ impl ShapeShifterCodec {
             }));
         }
         let det = WidthDetector::new(dtype.bits(), dtype.signedness());
-        let prefix_bits = u32::from(det.prefix_bits());
         // Hoisted out of the per-value loop: the signedness of the stream
         // is a property of the container, not of any value.
         let signed = matches!(dtype.signedness(), Signedness::Signed);
         let mut r = BitReader::with_bit_len(bytes, bit_len);
         let mut data: Vec<i32> = Vec::with_capacity(len);
-        let mut group_idx = 0usize;
+        self.decode_groups(&mut r, &det, dtype, signed, len, 0, 0, &mut data)?;
+        // A well-formed container is consumed exactly: its framing metadata
+        // (bit length + element count) and its group contents agree. This is
+        // a hard typed error, not a debug assertion, because hostile streams
+        // can reach it and the decoder must never panic on input.
+        if !r.is_at_end() {
+            return Err(CodecError::TrailingBits {
+                remaining: r.remaining_bits(),
+            });
+        }
+        let rec = ss_trace::global();
+        if rec.enabled() {
+            rec.add(Counter::DecodeCalls, 1);
+            rec.add(Counter::DecodeValues, data.len() as u64);
+        }
+        Ok(data)
+    }
+
+    /// Decodes a raw stream *with* its container-v2 chunk index: validates
+    /// the index against the framing metadata, then fans contiguous runs
+    /// of chunks out across scoped workers, each parsing its own
+    /// range-confined [`BitReader`]. Bit-identical to
+    /// [`ShapeShifterCodec::decode_stream`] on well-formed input.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShapeShifterCodec::decode`]; every index/stream
+    /// disagreement surfaces as a typed error before or during the parse —
+    /// never a panic, never a silently wrong tensor.
+    pub fn decode_stream_indexed(
+        &self,
+        bytes: &[u8],
+        bit_len: u64,
+        dtype: FixedType,
+        len: usize,
+        index: &ChunkIndex,
+        threads: usize,
+    ) -> Result<Vec<i32>, CodecError> {
+        if bit_len > bytes.len() as u64 * 8 {
+            return Err(CodecError::Stream(ss_bitio::BitIoError::UnexpectedEnd {
+                requested: u32::MAX,
+                available: bytes.len() as u64 * 8,
+            }));
+        }
+        if len as u64 > bit_len {
+            return Err(CodecError::Stream(ss_bitio::BitIoError::UnexpectedEnd {
+                requested: u32::MAX,
+                available: bit_len,
+            }));
+        }
+        index.validate(self.group_size, bit_len, len)?;
+        let entries = index.entries();
+        let chunk_groups = index.chunk_groups();
+        let mut spans = Vec::with_capacity(entries.len());
+        let mut value_base = 0usize;
+        for (i, e) in entries.iter().enumerate() {
+            let end = entries.get(i + 1).map_or(bit_len, |next| next.bit_offset);
+            spans.push(ChunkSpan {
+                chunk: i,
+                start: e.bit_offset,
+                end,
+                // validate() proved the per-chunk counts sum to `len`.
+                // ss-lint: allow(truncating-cast) -- validate() bounds each count by len: usize
+                values: e.values as usize,
+                value_base,
+                group_base: i * chunk_groups,
+            });
+            value_base += e.values as usize;
+        }
+        let per_worker = spans.len().div_ceil(threads.max(1)).max(1);
+        let parts: Vec<Result<Vec<i32>, CodecError>> = if spans.len() <= per_worker {
+            // One worker would get everything: parse on the calling thread.
+            vec![self.decode_span_run(bytes, dtype, &spans)]
+        } else {
+            par::scoped_map(&spans, per_worker, |run| {
+                self.decode_span_run(bytes, dtype, run)
+            })
+        };
+        let mut data: Vec<i32> = Vec::with_capacity(len);
+        for part in parts {
+            data.append(&mut part?);
+        }
+        // No trailing-bits check is needed here: validate() pins the last
+        // span's end to `bit_len` and decode_span_run demands every span
+        // be consumed exactly.
+        let rec = ss_trace::global();
+        if rec.enabled() {
+            rec.add(Counter::DecodeCalls, 1);
+            rec.add(Counter::DecodeValues, data.len() as u64);
+            rec.add(Counter::DecodeIndexHits, 1);
+            rec.add(Counter::DecodeChunksFanned, entries.len() as u64);
+        }
+        Ok(data)
+    }
+
+    /// Parses one worker's contiguous run of indexed chunks, confining
+    /// each chunk to its own bit range so a corrupt chunk can never read
+    /// its neighbour's bits (or starve them).
+    fn decode_span_run(
+        &self,
+        bytes: &[u8],
+        dtype: FixedType,
+        spans: &[ChunkSpan],
+    ) -> Result<Vec<i32>, CodecError> {
+        let det = WidthDetector::new(dtype.bits(), dtype.signedness());
+        let signed = matches!(dtype.signedness(), Signedness::Signed);
+        let total = spans.iter().map(|s| s.values).sum();
+        let mut data: Vec<i32> = Vec::with_capacity(total);
+        for span in spans {
+            let mut r = BitReader::with_bit_range(bytes, span.start, span.end)?;
+            self.decode_groups(
+                &mut r,
+                &det,
+                dtype,
+                signed,
+                span.values,
+                span.group_base,
+                span.value_base,
+                &mut data,
+            )?;
+            // The chunk must consume its allotted span exactly, for the
+            // same reason the sequential parse rejects trailing bits.
+            if !r.is_at_end() {
+                return Err(CodecError::IndexChunkMismatch {
+                    chunk: span.chunk,
+                    expected_bits: span.end - span.start,
+                    consumed_bits: r.consumed_bits(),
+                });
+            }
+        }
+        Ok(data)
+    }
+
+    /// Parses `count` values' worth of groups from `r`, appending to
+    /// `data` — the group-parse body shared by the sequential parse and
+    /// every indexed-chunk worker. `group_base` / `value_base` seed error
+    /// positions so chunk-local parses report stream-global indices.
+    #[allow(clippy::too_many_arguments)]
+    fn decode_groups(
+        &self,
+        r: &mut BitReader<'_>,
+        det: &WidthDetector,
+        dtype: FixedType,
+        signed: bool,
+        count: usize,
+        group_base: usize,
+        value_base: usize,
+        data: &mut Vec<i32>,
+    ) -> Result<(), CodecError> {
+        let prefix_bits = u32::from(det.prefix_bits());
+        let start_len = data.len();
+        let mut group_idx = group_base;
 
         // Z vector as packed 64-bit words (group_size <= 256 -> 4 words),
         // read straight off the stream with no per-bit buffer traffic.
         let mut zwords = [0u64; 4];
-        while data.len() < len {
-            let group_len = (len - data.len()).min(self.group_size);
+        while data.len() - start_len < count {
+            let group_len = (count - (data.len() - start_len)).min(self.group_size);
             for (word, start) in zwords.iter_mut().zip((0..group_len).step_by(64)) {
                 let take = (group_len - start).min(64);
                 *word = r.read_bits(take as u32)?;
@@ -429,11 +799,17 @@ impl ShapeShifterCodec {
                             // A payload slot decoding to zero is corrupt:
                             // zeros travel in Z, never in the payload.
                             return Err(CodecError::CorruptValue {
-                                index: data.len(),
+                                index: value_base + (data.len() - start_len),
                                 value: v,
                             });
                         }
-                        checked::canonical_payload(raw, v, p, signed, data.len());
+                        checked::canonical_payload(
+                            raw,
+                            v,
+                            p,
+                            signed,
+                            value_base + (data.len() - start_len),
+                        );
                         data.push(v);
                         payloads += 1;
                     }
@@ -442,21 +818,7 @@ impl ShapeShifterCodec {
             checked::group_invariants(&zwords, group_len, payloads, p, dtype.bits(), group_idx);
             group_idx += 1;
         }
-        // A well-formed container is consumed exactly: its framing metadata
-        // (bit length + element count) and its group contents agree. This is
-        // a hard typed error, not a debug assertion, because hostile streams
-        // can reach it and the decoder must never panic on input.
-        if !r.is_at_end() {
-            return Err(CodecError::TrailingBits {
-                remaining: r.remaining_bits(),
-            });
-        }
-        let rec = ss_trace::global();
-        if rec.enabled() {
-            rec.add(Counter::DecodeCalls, 1);
-            rec.add(Counter::DecodeValues, data.len() as u64);
-        }
-        Ok(data)
+        Ok(())
     }
 }
 
@@ -521,6 +883,22 @@ impl EncodedTensor {
     #[must_use]
     pub fn payload_bits(&self) -> u64 {
         self.payload_bits
+    }
+
+    /// The container-v2 chunk index, if the codec's policy wrote one
+    /// (`None` for v1 containers).
+    #[must_use]
+    pub fn index(&self) -> Option<&ChunkIndex> {
+        self.index.as_ref()
+    }
+
+    /// Serialized size of the chunk index in bits — 0 for v1 containers.
+    /// Deliberately **not** part of [`EncodedTensor::bit_len`]: the index
+    /// is side metadata, and the traffic accounting the figures report
+    /// measures the stream alone.
+    #[must_use]
+    pub fn index_bits(&self) -> u64 {
+        self.index.as_ref().map_or(0, ChunkIndex::serialized_bits)
     }
 
     /// Uncompressed footprint in bits.
@@ -647,6 +1025,7 @@ mod tests {
             groups: 1,
             metadata_bits: 5,
             payload_bits: 2,
+            index: None,
         };
         let err = ShapeShifterCodec::new(2).decode(&enc).unwrap_err();
         assert!(matches!(err, CodecError::CorruptValue { index: 1, .. }));
@@ -669,6 +1048,7 @@ mod tests {
             groups: 1,
             metadata_bits: 5,
             payload_bits: 16,
+            index: None,
         };
         let err = ShapeShifterCodec::new(1).decode(&enc).unwrap_err();
         assert!(matches!(

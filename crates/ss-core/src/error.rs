@@ -42,6 +42,32 @@ pub enum CodecError {
         /// Unconsumed bits left in the stream after the last value.
         remaining: u64,
     },
+    /// The optional chunk index (container v2) is corrupt: its checksum,
+    /// framing or internal consistency checks failed before any payload
+    /// was decoded.
+    CorruptIndex {
+        /// Which consistency check failed.
+        reason: &'static str,
+    },
+    /// A chunk-index entry's bit offset points outside the stream.
+    IndexOffsetOutOfBounds {
+        /// Index entry at fault.
+        chunk: usize,
+        /// The offending absolute bit offset.
+        offset: u64,
+        /// The stream length in bits.
+        bit_len: u64,
+    },
+    /// An indexed chunk did not consume exactly the bit span its index
+    /// entry claims — the index and the stream disagree.
+    IndexChunkMismatch {
+        /// Index entry at fault.
+        chunk: usize,
+        /// Bits the index allots to the chunk.
+        expected_bits: u64,
+        /// Bits the chunk's groups actually consumed.
+        consumed_bits: u64,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -64,6 +90,25 @@ impl fmt::Display for CodecError {
             CodecError::TrailingBits { remaining } => write!(
                 f,
                 "stream has {remaining} unconsumed bit(s) after the declared element count"
+            ),
+            CodecError::CorruptIndex { reason } => {
+                write!(f, "corrupt chunk index: {reason}")
+            }
+            CodecError::IndexOffsetOutOfBounds {
+                chunk,
+                offset,
+                bit_len,
+            } => write!(
+                f,
+                "index entry {chunk} points at bit {offset} beyond the {bit_len}-bit stream"
+            ),
+            CodecError::IndexChunkMismatch {
+                chunk,
+                expected_bits,
+                consumed_bits,
+            } => write!(
+                f,
+                "indexed chunk {chunk} consumed {consumed_bits} bit(s) of its {expected_bits}-bit span"
             ),
         }
     }

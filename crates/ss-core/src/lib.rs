@@ -13,6 +13,11 @@
 //!   Figure 6: values are grouped (16 by default), each group stores a
 //!   zero bit-vector `Z`, a width prefix `P`, and only its non-zero values
 //!   at `P` bits each in sign-magnitude form.
+//! * [`ChunkIndex`] — the optional container-v2 chunk index: per-chunk bit
+//!   offsets and value counts (delta-encoded, CRC-32-guarded) that let
+//!   decode fan chunks out across worker threads while staying
+//!   bit-identical to the sequential parse. v1 streams carry no index and
+//!   decode sequentially, unchanged.
 //! * [`scheme`] — the off-chip compression schemes compared throughout the
 //!   evaluation: no compression, per-layer Profile (Proteus), ShapeShifter,
 //!   Eyeriss/SCNN-style zero run-length encoding, and the outlier-aware
@@ -51,9 +56,11 @@ mod codec;
 pub mod decompressor;
 mod detector;
 mod error;
+pub mod index;
 pub mod par;
 pub mod scheme;
 
-pub use codec::{EncodedTensor, ShapeShifterCodec};
+pub use codec::{EncodedTensor, IndexPolicy, ShapeShifterCodec};
 pub use detector::WidthDetector;
 pub use error::CodecError;
+pub use index::{ChunkEntry, ChunkIndex};

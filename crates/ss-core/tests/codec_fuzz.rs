@@ -21,7 +21,7 @@
 //!   fail here.
 
 use proptest::prelude::*;
-use ss_core::ShapeShifterCodec;
+use ss_core::{ChunkIndex, IndexPolicy, ShapeShifterCodec};
 use ss_tensor::{FixedType, Shape, Signedness, Tensor};
 
 /// Skewed tensor strategy (mostly small values, plenty of zeros) so the
@@ -94,6 +94,81 @@ proptest! {
                 prop_assert_eq!(values.len(), enc.len());
                 prop_assert!(values.iter().all(|&v| enc.dtype().contains(v)));
             }
+        }
+    }
+
+    #[test]
+    fn index_blob_corruption_always_errors(t in arb_tensor(), pick in 0.0f64..1.0) {
+        // The container-v2 index blob is CRC-32-guarded: any single-bit
+        // flip — header, offset table, value counts or the checksum
+        // itself — and any truncation must surface as a typed error,
+        // never a panic and never a silently different index.
+        prop_assume!(t.len() > 16);
+        let codec = ShapeShifterCodec::new(16).with_index_policy(IndexPolicy::EveryGroups(1));
+        let enc = codec.encode(&t).unwrap();
+        let blob = enc.index().expect("tensor spans multiple chunks").to_bytes().unwrap();
+        prop_assert!(ChunkIndex::from_bytes(&blob).is_ok());
+        let flip = ((blob.len() * 8) as f64 * pick) as usize;
+        let mut corrupt = blob.clone();
+        corrupt[flip / 8] ^= 1 << (flip % 8);
+        prop_assert!(ChunkIndex::from_bytes(&corrupt).is_err(), "flip of bit {}", flip);
+        let keep = (blob.len() as f64 * pick) as usize;
+        prop_assert!(
+            ChunkIndex::from_bytes(&blob[..keep.min(blob.len() - 1)]).is_err(),
+            "truncation to {} bytes",
+            keep
+        );
+    }
+
+    #[test]
+    fn shifted_index_offset_always_yields_typed_error(
+        t in arb_tensor(),
+        shift in 1u64..=5,
+        threads in 1usize..=8,
+    ) {
+        // An index whose offset table was tampered with *after* the CRC
+        // check (or rebuilt to carry a valid CRC) still cannot produce a
+        // silently wrong tensor: validate() rejects out-of-bounds or
+        // non-monotone offsets, and a survivor is caught by the per-chunk
+        // exact-consumption check — the chunk before the shifted offset
+        // no longer fills its allotted span.
+        prop_assume!(t.len() > 32);
+        let codec = ShapeShifterCodec::new(16).with_index_policy(IndexPolicy::EveryGroups(1));
+        let enc = codec.encode(&t).unwrap();
+        let index = enc.index().expect("tensor spans multiple chunks");
+        let mut entries = index.entries().to_vec();
+        let last = entries.len() - 1;
+        entries[last].bit_offset += shift;
+        let tampered = ChunkIndex::from_parts(index.chunk_groups() as u32, entries).unwrap();
+        let r = codec.decode_stream_indexed(
+            enc.bytes(), enc.bit_len(), enc.dtype(), enc.len(), &tampered, threads,
+        );
+        prop_assert!(r.is_err(), "shift {} survived decode", shift);
+    }
+
+    #[test]
+    fn stream_bitflip_under_indexed_decode_never_panics(
+        t in arb_tensor(),
+        pick in 0.0f64..1.0,
+        threads in 2usize..=8,
+    ) {
+        // Damage the *stream* while the index stays intact: the parallel
+        // path must behave exactly like the sequential one — a clean
+        // decode of the declared element count, or a typed error.
+        prop_assume!(t.len() > 16);
+        let codec = ShapeShifterCodec::new(16).with_index_policy(IndexPolicy::EveryGroups(1));
+        let enc = codec.encode(&t).unwrap();
+        let index = enc.index().expect("tensor spans multiple chunks");
+        let bit_len = enc.bit_len();
+        prop_assume!(bit_len > 0);
+        let flip = ((bit_len as f64) * pick) as u64;
+        let mut bytes = enc.bytes().to_vec();
+        bytes[(flip / 8) as usize] ^= 1 << (flip % 8);
+        if let Ok(values) =
+            codec.decode_stream_indexed(&bytes, bit_len, enc.dtype(), enc.len(), index, threads)
+        {
+            prop_assert_eq!(values.len(), enc.len());
+            prop_assert!(values.iter().all(|&v| enc.dtype().contains(v)));
         }
     }
 

@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 use ss_core::scheme::{Base, CompressionScheme, ProfileScheme, SchemeCtx, ShapeShifterScheme, ZeroRle};
-use ss_core::{ShapeShifterCodec, WidthDetector};
+use ss_core::{ChunkIndex, IndexPolicy, ShapeShifterCodec, WidthDetector};
 use ss_tensor::{width, FixedType, Shape, Signedness, Tensor, TensorStats};
 
 /// Strategy producing a tensor with a skewed (mostly-small, some zeros,
@@ -65,6 +65,51 @@ proptest! {
             prop_assert_eq!(par.metadata_bits(), oracle.metadata_bits());
             prop_assert_eq!(par.payload_bits(), oracle.payload_bits());
             prop_assert_eq!(par.groups(), oracle.groups());
+        }
+    }
+
+    #[test]
+    fn indexed_parallel_decode_is_bit_identical_to_sequential(
+        t in arb_tensor(),
+        chunk_groups in 1usize..=8,
+    ) {
+        // The container-v2 differential: an indexed encode carries the
+        // exact v1 stream bytes (the index is side metadata), and the
+        // parallel decode reassembles the tensor bit-identically to the
+        // sequential parse for every worker count.
+        for group in [16usize, 64, 256] {
+            let codec = ShapeShifterCodec::new(group)
+                .with_index_policy(IndexPolicy::EveryGroups(chunk_groups));
+            let enc = codec.encode(&t).unwrap();
+            let v1 = ShapeShifterCodec::new(group)
+                .with_index_policy(IndexPolicy::None)
+                .encode(&t)
+                .unwrap();
+            prop_assert_eq!(enc.bytes(), v1.bytes(), "group {}", group);
+            prop_assert_eq!(enc.bit_len(), v1.bit_len());
+            prop_assert!(v1.index().is_none());
+            let oracle = codec.decode_with_threads(&enc, 1).unwrap();
+            prop_assert_eq!(&oracle, &t);
+            for threads in [2usize, 4, 8] {
+                let par = codec.decode_with_threads(&enc, threads).unwrap();
+                prop_assert_eq!(&par, &oracle, "group {} threads {}", group, threads);
+            }
+            // A written index survives its serialized form, and the
+            // deserialized copy drives the same parallel decode.
+            if let Some(index) = enc.index() {
+                let back = ChunkIndex::from_bytes(&index.to_bytes().unwrap()).unwrap();
+                prop_assert_eq!(&back, index);
+                prop_assert_eq!(enc.index_bits(), back.serialized_bits());
+                let via = codec
+                    .decode_stream_indexed(
+                        enc.bytes(), enc.bit_len(), enc.dtype(), enc.len(), &back, 4,
+                    )
+                    .unwrap();
+                prop_assert_eq!(&via[..], t.values());
+            } else {
+                prop_assert!(t.len() <= chunk_groups * group);
+                prop_assert_eq!(enc.index_bits(), 0);
+            }
         }
     }
 

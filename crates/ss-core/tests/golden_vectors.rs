@@ -1,0 +1,305 @@
+// Tests may unwrap/expect freely: a panic here is a test failure, not a
+// product-code defect (the workspace clippy lints exempt test code).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+//! Golden-vector conformance suite for the container formats.
+//!
+//! Each case pins one (tensor, codec configuration) pair to three
+//! checked-in artifacts under `tests/golden/`:
+//!
+//! * `<name>.stream.bin` — the encoded stream bytes (identical for v1 and
+//!   v2: the chunk index never changes the stream);
+//! * `<name>.values.bin` — the expected decoded values, little-endian
+//!   i32s, so decode conformance does not depend on the test's own value
+//!   generator;
+//! * `<name>.index.bin` — the serialized chunk index (v2 cases only).
+//!
+//! On top of the file comparison, every case pins the stream's FNV-1a
+//! hash and exact bit length as source constants, so the suite detects a
+//! format drift even if the golden files were regenerated along with the
+//! code change ("the encoder changed AND someone refreshed the files"
+//! shows up as a hash-constant mismatch in review).
+//!
+//! Regenerate after a *deliberate* format change with:
+//!
+//! ```text
+//! SS_GOLDEN_REGEN=1 cargo test -p ss-core --test golden_vectors
+//! ```
+//!
+//! which rewrites the files and prints the new constants to paste here.
+
+use std::path::PathBuf;
+
+use ss_core::{ChunkIndex, IndexPolicy, ShapeShifterCodec};
+use ss_tensor::{FixedType, Shape, Signedness, Tensor};
+
+/// One pinned conformance case.
+struct GoldenCase {
+    name: &'static str,
+    seed: u64,
+    len: usize,
+    dtype: FixedType,
+    group: usize,
+    policy: IndexPolicy,
+    /// FNV-1a 64 of the stream bytes.
+    stream_hash: u64,
+    /// Exact stream length in bits.
+    bit_len: u64,
+    /// FNV-1a 64 of the serialized index; 0 for v1 cases (no index).
+    index_hash: u64,
+}
+
+/// The pinned corpus: v1 (unindexed) and v2 (indexed) containers across
+/// the paper's group sizes and both signednesses.
+const CASES: &[GoldenCase] = &[
+    GoldenCase {
+        name: "v1_i16_g16",
+        seed: 0x5353_0001,
+        len: 1000,
+        dtype: FixedType::I16,
+        group: 16,
+        policy: IndexPolicy::None,
+        stream_hash: 0x8466_4598_26f8_7648,
+        bit_len: 10502,
+        index_hash: 0,
+    },
+    GoldenCase {
+        name: "v1_u8_g64",
+        seed: 0x5353_0002,
+        len: 333,
+        dtype: FixedType::U8,
+        group: 64,
+        policy: IndexPolicy::None,
+        stream_hash: 0x46a1_b1fa_bd1e_3320,
+        bit_len: 1879,
+        index_hash: 0,
+    },
+    GoldenCase {
+        name: "v2_i16_g16_cg4",
+        seed: 0x5353_0003,
+        len: 1000,
+        dtype: FixedType::I16,
+        group: 16,
+        policy: IndexPolicy::EveryGroups(4),
+        stream_hash: 0x4b10_7647_1be5_6886,
+        bit_len: 10759,
+        index_hash: 0xeb75_c8ab_eace_8ab6,
+    },
+    GoldenCase {
+        name: "v2_u16_g64_cg2",
+        seed: 0x5353_0004,
+        len: 777,
+        dtype: FixedType::U16,
+        group: 64,
+        policy: IndexPolicy::EveryGroups(2),
+        stream_hash: 0x7462_6f46_6450_9e1a,
+        bit_len: 8765,
+        index_hash: 0x5b46_9dc8_c4e1_efd0,
+    },
+    GoldenCase {
+        name: "v2_i8_g256_cg1",
+        seed: 0x5353_0005,
+        len: 600,
+        dtype: FixedType::I8,
+        group: 256,
+        policy: IndexPolicy::EveryGroups(1),
+        stream_hash: 0x2bd6_598b_b5ce_8209,
+        bit_len: 3449,
+        index_hash: 0x0cf3_bb4f_6ee7_b06c,
+    },
+];
+
+/// Deterministic skewed value generator (an LCG, so the corpus never
+/// depends on a random-number crate): ~40% zeros, mostly small
+/// magnitudes, occasional full-width values — the distribution the paper
+/// exploits.
+fn golden_values(seed: u64, len: usize, dtype: FixedType) -> Vec<i32> {
+    let max = u64::from(dtype.max_magnitude() as u32);
+    let signed = dtype.signedness() == Signedness::Signed;
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let r = x >> 33;
+            let v = match r % 10 {
+                0..=3 => 0,
+                4..=7 => (r / 10 % 15.min(max) + 1) as i32,
+                _ => (r / 10 % max + 1) as i32,
+            };
+            if signed && x & 1 == 1 {
+                -v
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// FNV-1a 64-bit over a byte slice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn values_to_le_bytes(values: &[i32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn values_from_le_bytes(bytes: &[u8]) -> Vec<i32> {
+    assert_eq!(bytes.len() % 4, 0, "values file length not a multiple of 4");
+    bytes
+        .chunks_exact(4)
+        .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+#[test]
+fn golden_vectors_conform() {
+    let dir = golden_dir();
+    let regen = std::env::var_os("SS_GOLDEN_REGEN").is_some();
+    for case in CASES {
+        let values = golden_values(case.seed, case.len, case.dtype);
+        let tensor =
+            Tensor::from_vec(Shape::flat(case.len), case.dtype, values.clone()).unwrap();
+        let codec = ShapeShifterCodec::new(case.group).with_index_policy(case.policy);
+        let enc = codec.encode(&tensor).unwrap();
+        let index_blob = enc.index().map(|i| i.to_bytes().unwrap());
+
+        let stream_path = dir.join(format!("{}.stream.bin", case.name));
+        let values_path = dir.join(format!("{}.values.bin", case.name));
+        let index_path = dir.join(format!("{}.index.bin", case.name));
+
+        if regen {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&stream_path, enc.bytes()).unwrap();
+            std::fs::write(&values_path, values_to_le_bytes(&values)).unwrap();
+            match &index_blob {
+                Some(blob) => std::fs::write(&index_path, blob).unwrap(),
+                None => {
+                    let _ = std::fs::remove_file(&index_path);
+                }
+            }
+            println!(
+                "{}: stream_hash: {:#018x}, bit_len: {}, index_hash: {:#018x},",
+                case.name,
+                fnv1a(enc.bytes()),
+                enc.bit_len(),
+                index_blob.as_deref().map_or(0, fnv1a)
+            );
+            // Freshly written files trivially match the encoder; the point
+            // of regen mode is to emit the constants above for pinning.
+            continue;
+        }
+
+        // Encoder conformance: today's encoder reproduces the pinned
+        // stream byte-for-byte, and the source constants agree.
+        let golden_stream = std::fs::read(&stream_path)
+            .unwrap_or_else(|e| panic!("{}: missing golden stream ({e})", case.name));
+        assert_eq!(
+            enc.bytes(),
+            &golden_stream[..],
+            "{}: encoder drifted from the golden stream",
+            case.name
+        );
+        assert_eq!(
+            fnv1a(&golden_stream),
+            case.stream_hash,
+            "{}: golden stream file does not match its pinned hash",
+            case.name
+        );
+        assert_eq!(enc.bit_len(), case.bit_len, "{}: bit length drifted", case.name);
+
+        // Decoder conformance: the *file* bytes decode to the *file*
+        // values, sequentially.
+        let golden_values_file = values_from_le_bytes(
+            &std::fs::read(&values_path)
+                .unwrap_or_else(|e| panic!("{}: missing golden values ({e})", case.name)),
+        );
+        assert_eq!(golden_values_file, values, "{}: value corpus drifted", case.name);
+        let decoded = codec
+            .decode_stream(&golden_stream, case.bit_len, case.dtype, case.len)
+            .unwrap();
+        assert_eq!(decoded, golden_values_file, "{}: sequential decode", case.name);
+
+        // v2 cases: the index file deserializes, validates against the
+        // framing, matches its pinned hash, and drives a parallel decode
+        // to the same values.
+        match index_blob {
+            Some(blob) => {
+                let golden_index = std::fs::read(&index_path)
+                    .unwrap_or_else(|e| panic!("{}: missing golden index ({e})", case.name));
+                assert_eq!(
+                    blob, golden_index,
+                    "{}: encoder's index drifted from the golden index",
+                    case.name
+                );
+                assert_eq!(
+                    fnv1a(&golden_index),
+                    case.index_hash,
+                    "{}: golden index file does not match its pinned hash",
+                    case.name
+                );
+                let index = ChunkIndex::from_bytes(&golden_index).unwrap();
+                for threads in [1usize, 2, 4, 8] {
+                    let par = codec
+                        .decode_stream_indexed(
+                            &golden_stream,
+                            case.bit_len,
+                            case.dtype,
+                            case.len,
+                            &index,
+                            threads,
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        par, golden_values_file,
+                        "{}: indexed decode at {} thread(s)",
+                        case.name, threads
+                    );
+                }
+            }
+            None => {
+                assert_eq!(case.index_hash, 0, "{}: v1 case pins an index hash", case.name);
+                assert!(
+                    !index_path.exists(),
+                    "{}: v1 case has a stale index file",
+                    case.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_corpus_is_complete() {
+    // Every file under tests/golden/ belongs to a pinned case — a stray
+    // artifact (or a case whose files were deleted without removing the
+    // entry) fails loudly rather than silently shrinking coverage.
+    let dir = golden_dir();
+    let mut expected: Vec<String> = Vec::new();
+    for case in CASES {
+        expected.push(format!("{}.stream.bin", case.name));
+        expected.push(format!("{}.values.bin", case.name));
+        if !matches!(case.policy, IndexPolicy::None) {
+            expected.push(format!("{}.index.bin", case.name));
+        }
+    }
+    let mut actual: Vec<String> = std::fs::read_dir(&dir)
+        .expect("tests/golden/ exists")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".bin"))
+        .collect();
+    expected.sort();
+    actual.sort();
+    assert_eq!(actual, expected);
+}

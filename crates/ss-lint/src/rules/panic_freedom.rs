@@ -24,6 +24,7 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/ss-bitio/src/writer.rs",
     "crates/ss-core/src/codec.rs",
     "crates/ss-core/src/checked.rs",
+    "crates/ss-core/src/index.rs",
     "crates/ss-core/src/decompressor.rs",
     "crates/ss-core/src/detector.rs",
     "crates/ss-sim/src/sim.rs",

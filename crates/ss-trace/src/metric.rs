@@ -69,6 +69,10 @@ metric_enum! {
         DecodeCalls => "decode_calls",
         /// Values reconstructed by `decode`.
         DecodeValues => "decode_values",
+        /// Decodes that took the container-v2 indexed (parallel) path.
+        DecodeIndexHits => "decode_index_hits",
+        /// Indexed chunks fanned out across decode workers.
+        DecodeChunksFanned => "decode_chunks_fanned",
         /// Off-chip bits priced under the `Base` scheme.
         SchemeBaseBits => "scheme_base_bits",
         /// Off-chip bits priced under the `Profile` scheme.

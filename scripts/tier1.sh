@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, full test suite, lint, and the codec
+# Tier-1 verification: build, full test suite, lint, the container
+# conformance suites, the deterministic overhead gates, and the codec
 # performance baseline (time report only — the numbers are recorded in
 # BENCH_codec.json but never gate the run; thread-scaling ratios depend on
 # the host's core count).
@@ -10,6 +11,20 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
 cargo run --release -q -p ss-lint
+
+# Container conformance: golden vectors (v1 + v2 pinned streams), the
+# indexed-vs-sequential differential property suite, and the corruption
+# fuzzers. All run above as part of the workspace tests; re-run here by
+# name so a conformance failure is unmissable in CI logs.
+echo
+echo "== container conformance (golden + differential + fuzz) =="
+cargo test -q -p ss-core --test golden_vectors --test codec_properties --test codec_fuzz
+
+# Deterministic gates: trace-recorder measure overhead and chunk-index
+# metadata overhead (both host-independent bounds).
+echo
+echo "== overhead gates =="
+cargo run --release -q -p ss-bench --bin perf_baseline -- --overhead-gate
 
 echo
 echo "== perf baseline (informational) =="

@@ -98,11 +98,19 @@ fn info(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
     let packed = fs::read(input)?;
     let meta = container::info(&packed)?;
+    println!("version:     {}", meta.version);
     println!("container:   {}", meta.dtype);
     println!("codec:       {:?}", meta.codec);
     println!("group size:  {}", meta.group_size);
     println!("values:      {}", meta.len);
     println!("stream bits: {}", meta.stream_bits);
+    if meta.index_bytes > 0 {
+        println!(
+            "chunk index: {} bytes ({:.4} bits/value)",
+            meta.index_bytes,
+            meta.index_overhead_bits_per_value()
+        );
+    }
     println!("ratio:       {:.1}% of raw", meta.ratio() * 100.0);
     Ok(())
 }

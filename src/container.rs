@@ -7,15 +7,31 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "SSPK"
-//! 4       1     format version (1)
+//! 4       1     format version (1 or 2)
 //! 5       1     container bits (1..=16)
 //! 6       1     signedness (0 unsigned, 1 signed)
 //! 7       1     codec (0 ShapeShifter, 1 Delta-ShapeShifter)
 //! 8       2     group size, little-endian
 //! 10      8     element count, little-endian
 //! 18      8     stream length in bits, little-endian
-//! 26      -     the compressed stream
+//! 26      -     v1: the compressed stream
 //! ```
+//!
+//! A **version-2** container carries the optional chunk index between the
+//! header and the stream, enabling parallel decode (`ss_core::ChunkIndex`
+//! serializes with its own CRC-32, so index corruption is detected
+//! independently of the header):
+//!
+//! ```text
+//! 26      4     index length in bytes, little-endian
+//! 30      -     the serialized chunk index
+//! 30+n    -     the compressed stream (byte-identical to v1)
+//! ```
+//!
+//! `pack` writes v2 exactly when the codec's index policy produced an
+//! index (large ShapeShifter tensors under the default `Auto` policy);
+//! small tensors and the Delta codec stay v1. Both versions unpack, and a
+//! v1 file decodes through the same sequential path as always.
 //!
 //! # Examples
 //!
@@ -36,7 +52,7 @@ use std::error::Error;
 use std::fmt;
 
 use ss_core::scheme::DeltaShapeShifter;
-use ss_core::{CodecError, ShapeShifterCodec};
+use ss_core::{ChunkIndex, CodecError, IndexPolicy, ShapeShifterCodec};
 use ss_tensor::{FixedType, Shape, Signedness, Tensor, TensorError};
 
 /// The compression codec a container uses.
@@ -69,9 +85,11 @@ impl ContainerCodec {
 
 /// File magic.
 pub const MAGIC: [u8; 4] = *b"SSPK";
-/// Current format version.
+/// The v1 format version: header + stream.
 pub const VERSION: u8 = 1;
-/// Header length in bytes.
+/// The v2 format version: header + chunk-index block + stream.
+pub const VERSION_V2: u8 = 2;
+/// Header length in bytes (shared by both versions).
 pub const HEADER_LEN: usize = 26;
 
 /// Errors for the file container.
@@ -129,6 +147,8 @@ impl From<TensorError> for ContainerError {
 /// Decoded header metadata (what `sspack info` prints).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ContainerInfo {
+    /// Format version (1 or 2).
+    pub version: u8,
     /// Value container type.
     pub dtype: FixedType,
     /// Group size.
@@ -137,6 +157,8 @@ pub struct ContainerInfo {
     pub len: u64,
     /// Compressed stream length in bits.
     pub stream_bits: u64,
+    /// Serialized chunk-index size in bytes (0 for v1 containers).
+    pub index_bytes: usize,
     /// Codec in use.
     pub codec: ContainerCodec,
 }
@@ -150,6 +172,26 @@ impl ContainerInfo {
             1.0
         } else {
             self.stream_bits as f64 / raw as f64
+        }
+    }
+
+    /// Index metadata overhead in bits per tensor value (0 for v1).
+    #[must_use]
+    pub fn index_overhead_bits_per_value(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            (self.index_bytes as u64 * 8) as f64 / self.len as f64
+        }
+    }
+
+    /// Byte offset of the compressed stream within the file.
+    #[must_use]
+    pub fn stream_offset(&self) -> usize {
+        if self.version >= VERSION_V2 {
+            HEADER_LEN + 4 + self.index_bytes
+        } else {
+            HEADER_LEN
         }
     }
 }
@@ -182,23 +224,57 @@ pub fn pack_with_codec(
     group_size: usize,
     codec: ContainerCodec,
 ) -> Result<Vec<u8>, ContainerError> {
-    let (bytes, bit_len) = match codec {
+    pack_with_policy(tensor, group_size, codec, IndexPolicy::Auto)
+}
+
+/// Packs a tensor with explicit codec and chunk-index policy choices.
+///
+/// The index policy only applies to the ShapeShifter codec: when it
+/// produces an index the file is written as version 2 (index block
+/// between header and stream); otherwise — including always for the
+/// Delta codec — the file is the classic version 1.
+///
+/// # Errors
+///
+/// As [`pack`].
+///
+/// # Panics
+///
+/// Panics if `group_size` is 0 or exceeds 256.
+pub fn pack_with_policy(
+    tensor: &Tensor,
+    group_size: usize,
+    codec: ContainerCodec,
+    policy: IndexPolicy,
+) -> Result<Vec<u8>, ContainerError> {
+    let (bytes, bit_len, index_blob) = match codec {
         ContainerCodec::ShapeShifter => {
-            let enc = ShapeShifterCodec::new(group_size).encode(tensor)?;
+            let enc = ShapeShifterCodec::new(group_size)
+                .with_index_policy(policy)
+                .encode(tensor)?;
             let bits = enc.bit_len();
-            (enc.bytes().to_vec(), bits)
+            let blob = enc.index().map(ChunkIndex::to_bytes).transpose()?;
+            (enc.bytes().to_vec(), bits, blob)
         }
-        ContainerCodec::Delta => DeltaShapeShifter::new(group_size).encode(tensor)?,
+        ContainerCodec::Delta => {
+            let (bytes, bits) = DeltaShapeShifter::new(group_size).encode(tensor)?;
+            (bytes, bits, None)
+        }
     };
-    let mut out = Vec::with_capacity(HEADER_LEN + bytes.len());
+    let index_len = index_blob.as_ref().map_or(0, Vec::len);
+    let mut out = Vec::with_capacity(HEADER_LEN + 4 + index_len + bytes.len());
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(if index_blob.is_some() { VERSION_V2 } else { VERSION });
     out.push(tensor.dtype().bits());
     out.push(u8::from(tensor.signedness().is_signed()));
     out.push(codec.to_byte());
     out.extend_from_slice(&(group_size as u16).to_le_bytes());
     out.extend_from_slice(&(tensor.len() as u64).to_le_bytes());
     out.extend_from_slice(&bit_len.to_le_bytes());
+    if let Some(blob) = index_blob {
+        out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        out.extend_from_slice(&blob);
+    }
     out.extend_from_slice(&bytes);
     Ok(out)
 }
@@ -219,8 +295,9 @@ pub fn info(bytes: &[u8]) -> Result<ContainerInfo, ContainerError> {
     if bytes[0..4] != MAGIC {
         return Err(ContainerError::BadMagic);
     }
-    if bytes[4] != VERSION {
-        return Err(ContainerError::UnsupportedVersion(bytes[4]));
+    let version = bytes[4];
+    if version != VERSION && version != VERSION_V2 {
+        return Err(ContainerError::UnsupportedVersion(version));
     }
     let bits = bytes[5];
     let dtype = match bytes[6] {
@@ -244,32 +321,76 @@ pub fn info(bytes: &[u8]) -> Result<ContainerInfo, ContainerError> {
     let len = u64::from_le_bytes(bytes[10..18].try_into().expect("slice length checked"));
     let stream_bits =
         u64::from_le_bytes(bytes[18..26].try_into().expect("slice length checked"));
-    let available = (bytes.len() - HEADER_LEN) as u64 * 8;
+    let index_bytes = if version == VERSION_V2 {
+        let Some(rest) = bytes.len().checked_sub(HEADER_LEN + 4) else {
+            return Err(ContainerError::Malformed(
+                "v2 file too short for its index-length field".to_string(),
+            ));
+        };
+        let index_len = u32::from_le_bytes(
+            bytes[HEADER_LEN..HEADER_LEN + 4]
+                .try_into()
+                .expect("slice length checked"),
+        ) as usize;
+        if index_len > rest {
+            return Err(ContainerError::Malformed(format!(
+                "index claims {index_len} bytes but file carries {rest} past the header"
+            )));
+        }
+        index_len
+    } else {
+        0
+    };
+    let meta = ContainerInfo {
+        version,
+        dtype,
+        group_size,
+        len,
+        stream_bits,
+        index_bytes,
+        codec,
+    };
+    let available = (bytes.len() - meta.stream_offset()) as u64 * 8;
     if stream_bits > available {
         return Err(ContainerError::Malformed(format!(
             "stream claims {stream_bits} bits but file carries {available}"
         )));
     }
-    Ok(ContainerInfo {
-        dtype,
-        group_size,
-        len,
-        stream_bits,
-        codec,
-    })
+    Ok(meta)
 }
 
 /// Unpacks an `SSPK` byte vector back into the original tensor.
 ///
+/// A v2 container's chunk index is deserialized (its CRC-32 rejects any
+/// corruption) and drives the parallel decode path, with the worker count
+/// following `SS_THREADS` / the machine's parallelism; v1 containers
+/// decode sequentially exactly as before.
+///
 /// # Errors
 ///
-/// [`ContainerError`] variants for framing problems or a corrupt stream.
+/// [`ContainerError`] variants for framing problems, a corrupt index or a
+/// corrupt stream.
 pub fn unpack(bytes: &[u8]) -> Result<Tensor, ContainerError> {
     let meta = info(bytes)?;
-    let stream = &bytes[HEADER_LEN..];
+    let stream = &bytes[meta.stream_offset()..];
     let values = match meta.codec {
-        ContainerCodec::ShapeShifter => ShapeShifterCodec::new(meta.group_size)
-            .decode_stream(stream, meta.stream_bits, meta.dtype, meta.len as usize)?,
+        ContainerCodec::ShapeShifter => {
+            let codec = ShapeShifterCodec::new(meta.group_size);
+            if meta.index_bytes > 0 {
+                let blob = &bytes[HEADER_LEN + 4..HEADER_LEN + 4 + meta.index_bytes];
+                let index = ChunkIndex::from_bytes(blob)?;
+                codec.decode_stream_indexed(
+                    stream,
+                    meta.stream_bits,
+                    meta.dtype,
+                    meta.len as usize,
+                    &index,
+                    ss_core::par::thread_count(),
+                )?
+            } else {
+                codec.decode_stream(stream, meta.stream_bits, meta.dtype, meta.len as usize)?
+            }
+        }
         ContainerCodec::Delta => DeltaShapeShifter::new(meta.group_size).decode(
             stream,
             meta.stream_bits,
@@ -362,6 +483,74 @@ mod tests {
         let packed = pack_with_codec(&tensor, 4, ContainerCodec::Delta).unwrap();
         assert_eq!(info(&packed).unwrap().codec, ContainerCodec::Delta);
         assert_eq!(unpack(&packed).unwrap(), tensor);
+    }
+
+    #[test]
+    fn v2_packs_index_and_roundtrips() {
+        let vals: Vec<i32> = (0..200).map(|i| (i * 37) % 2000 - 1000).collect();
+        let tensor = t(vals);
+        let packed = pack_with_policy(
+            &tensor,
+            16,
+            ContainerCodec::ShapeShifter,
+            IndexPolicy::EveryGroups(2),
+        )
+        .unwrap();
+        let meta = info(&packed).unwrap();
+        assert_eq!(meta.version, VERSION_V2);
+        assert!(meta.index_bytes > 0);
+        assert!(meta.index_overhead_bits_per_value() > 0.0);
+        assert_eq!(unpack(&packed).unwrap(), tensor);
+        // The v1 encoding of the same tensor holds the identical stream.
+        let v1 = pack_with_policy(
+            &tensor,
+            16,
+            ContainerCodec::ShapeShifter,
+            IndexPolicy::None,
+        )
+        .unwrap();
+        let v1_meta = info(&v1).unwrap();
+        assert_eq!(v1_meta.version, VERSION);
+        assert_eq!(v1_meta.index_bytes, 0);
+        assert_eq!(
+            &packed[meta.stream_offset()..],
+            &v1[v1_meta.stream_offset()..]
+        );
+        assert_eq!(unpack(&v1).unwrap(), tensor);
+    }
+
+    #[test]
+    fn v2_index_corruption_is_detected() {
+        let vals: Vec<i32> = (0..200).map(|i| (i * 31) % 1000).collect();
+        let tensor = t(vals);
+        let packed = pack_with_policy(
+            &tensor,
+            16,
+            ContainerCodec::ShapeShifter,
+            IndexPolicy::EveryGroups(1),
+        )
+        .unwrap();
+        let meta = info(&packed).unwrap();
+        // Flip one bit in every byte of the index blob: each must surface
+        // as a typed codec error (the blob's CRC-32 catches them all).
+        for i in HEADER_LEN + 4..meta.stream_offset() {
+            let mut corrupt = packed.clone();
+            corrupt[i] ^= 0x10;
+            assert!(
+                matches!(unpack(&corrupt), Err(ContainerError::Codec(_))),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn small_tensors_stay_v1_under_auto_policy() {
+        let tensor = t(vec![1, -2, 0, 300]);
+        let packed = pack(&tensor, 16).unwrap();
+        let meta = info(&packed).unwrap();
+        assert_eq!(meta.version, VERSION);
+        assert_eq!(meta.index_bytes, 0);
+        assert_eq!(meta.stream_offset(), HEADER_LEN);
     }
 
     #[test]

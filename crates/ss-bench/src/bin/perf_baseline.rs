@@ -43,7 +43,7 @@ use std::time::Instant;
 
 use ss_bench::suites::traffic_totals;
 use ss_core::scheme::{Base, CompressionScheme, ProfileScheme, ShapeShifterScheme, ZeroRle};
-use ss_core::ShapeShifterCodec;
+use ss_core::{ExecPolicy, ShapeShifterCodec};
 use ss_tensor::{FixedType, Shape, Tensor};
 use ss_trace::{Counter, TraceRecorder};
 
@@ -108,10 +108,11 @@ fn overhead_gate() -> std::io::Result<()> {
         ss_trace::installed().is_none(),
         "gate must start with the NoopRecorder"
     );
+    let seq = codec.with_exec(ExecPolicy::Sequential);
     // Warm up caches before either timed pass.
-    let _ = codec.measure_with_threads(&tensor, 1);
+    let _ = seq.measure(&tensor);
 
-    let (noop_ms, _) = best_of_n(GATE_REPS, || codec.measure_with_threads(&tensor, 1));
+    let (noop_ms, _) = best_of_n(GATE_REPS, || seq.measure(&tensor));
     println!(
         "measure, NoopRecorder (default): {noop_ms:>8.2} ms  ({:.1} Mvalues/s)",
         mvalues_per_s(noop_ms)
@@ -120,7 +121,7 @@ fn overhead_gate() -> std::io::Result<()> {
     assert!(ss_trace::install(TraceRecorder::new()), "first install");
     let rec = ss_trace::installed().expect("just installed");
     let calls0 = rec.counter(Counter::MeasureCalls);
-    let (enabled_ms, _) = best_of_n(GATE_REPS, || codec.measure_with_threads(&tensor, 1));
+    let (enabled_ms, _) = best_of_n(GATE_REPS, || seq.measure(&tensor));
     assert!(
         rec.counter(Counter::MeasureCalls) >= calls0 + GATE_REPS as u64,
         "the enabled pass must actually hit the recorder"
@@ -187,14 +188,15 @@ fn main() -> std::io::Result<()> {
     let mut measure_ms = Vec::new();
     let mut encoded = None;
     for &t in &THREADS {
-        let (ms, enc) = best_of(|| codec.encode_with_threads(&tensor, t).expect("encode"));
+        let at = codec.with_exec(ExecPolicy::Threads(t));
+        let (ms, enc) = best_of(|| at.encode(&tensor).expect("encode"));
         println!(
             "encode  threads={t}: {ms:>8.2} ms  ({:.1} Mvalues/s)",
             mvalues_per_s(ms)
         );
         encode_ms.push(ms);
         encoded = Some(enc);
-        let (ms, _) = best_of(|| codec.measure_with_threads(&tensor, t));
+        let (ms, _) = best_of(|| at.measure(&tensor));
         println!(
             "measure threads={t}: {ms:>8.2} ms  ({:.1} Mvalues/s)",
             mvalues_per_s(ms)
@@ -204,7 +206,8 @@ fn main() -> std::io::Result<()> {
     let encoded = encoded.expect("THREADS is non-empty");
     let mut decode_ms = Vec::new();
     for &t in &THREADS {
-        let (ms, back) = best_of(|| codec.decode_with_threads(&encoded, t).expect("decode"));
+        let at = codec.with_exec(ExecPolicy::Threads(t));
+        let (ms, back) = best_of(|| at.decode(&encoded).expect("decode"));
         assert_eq!(back, tensor, "decode must round-trip");
         println!(
             "decode  threads={t}: {ms:>8.2} ms  ({:.1} Mvalues/s)",

@@ -33,9 +33,9 @@ pub fn sweep(model: &dyn TensorSource, seed: u64) -> Vec<(usize, f64, f64)> {
         ] {
             base += t.container_bits();
             for (slot, &g) in per_group.iter_mut().zip(&GROUPS) {
-                let (meta, payload, _) = ShapeShifterCodec::new(g).measure(&t);
-                slot.0 += meta;
-                slot.1 += payload;
+                let report = ShapeShifterCodec::new(g).measure(&t);
+                slot.0 += report.metadata_bits;
+                slot.1 += report.payload_bits;
             }
         }
     }

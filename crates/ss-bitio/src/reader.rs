@@ -107,6 +107,17 @@ impl<'a> BitReader<'a> {
         })
     }
 
+    /// Rewinds the reader to the first bit of its range (bit 0, or the
+    /// `start` of a range-limited reader).
+    ///
+    /// The reuse hook matching [`crate::BitWriter::clear`]: a session that
+    /// parses the same buffer more than once (retry after a recoverable
+    /// framing error, double-decode verification) rewinds instead of
+    /// constructing a fresh reader.
+    pub fn reset(&mut self) {
+        self.pos = self.start;
+    }
+
     /// Current absolute bit position (bits consumed so far).
     #[must_use]
     pub fn position(&self) -> u64 {
@@ -397,6 +408,23 @@ mod tests {
         // An empty range at the very end is legal and immediately at end.
         let r = BitReader::with_bit_range(&bytes, 16, 16).unwrap();
         assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn reset_rewinds_to_range_start() {
+        let bytes = [0xA5u8, 0x5A];
+        let mut r = BitReader::new(&bytes);
+        let first = r.read_bits(11).unwrap();
+        r.reset();
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.read_bits(11).unwrap(), first);
+
+        let mut r = BitReader::with_bit_range(&bytes, 3, 11).unwrap();
+        let first = r.read_bits(8).unwrap();
+        assert!(r.is_at_end());
+        r.reset();
+        assert_eq!(r.position(), 3, "reset must honor the range start");
+        assert_eq!(r.read_bits(8).unwrap(), first);
     }
 
     #[test]

@@ -47,6 +47,24 @@ impl BitWriter {
         }
     }
 
+    /// Resets the writer to empty while keeping its allocated buffer.
+    ///
+    /// This is the reuse hook behind `ss-core`'s `CodecSession`: a
+    /// steady-state encode loop clears and refills one writer per tensor,
+    /// so after the first few tensors have grown the buffer to the
+    /// high-water mark, no further heap allocation happens per tensor.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.bit_len = 0;
+    }
+
+    /// Bytes of backing-buffer capacity currently allocated (the reuse
+    /// high-water mark; diagnostic only).
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.bytes.capacity()
+    }
+
     /// Number of bits written so far.
     #[must_use]
     pub fn bit_len(&self) -> u64 {
@@ -255,6 +273,24 @@ mod tests {
         assert!(w.is_empty());
         assert_eq!(w.bit_len(), 0);
         assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_restores_bit_identity() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF, 32).unwrap();
+        w.write_bits(0x3, 3).unwrap();
+        let first = w.clone();
+        let cap = w.capacity_bytes();
+        assert!(cap >= 5);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.bit_len(), 0);
+        assert_eq!(w.capacity_bytes(), cap, "clear must keep the buffer");
+        // Refilling after clear is bit-identical to a fresh writer.
+        w.write_bits(0xDEAD_BEEF, 32).unwrap();
+        w.write_bits(0x3, 3).unwrap();
+        assert_eq!(w, first);
     }
 
     #[test]

@@ -5,11 +5,11 @@ use ss_tensor::{width, FixedType, Shape, Signedness, Tensor};
 use ss_trace::{Counter, WidthCounts, WidthHist};
 
 use crate::index::{ChunkEntry, ChunkIndex};
-use crate::{checked, par, CodecError, WidthDetector};
+use crate::{checked, par, CodecConfig, CodecError, ExecPolicy, MeasureReport, WidthDetector};
 
 /// Below this many values the automatic paths stay sequential: spawning and
 /// splicing costs more than the encode itself on small tensors.
-const PARALLEL_MIN_VALUES: usize = 1 << 16;
+pub(crate) const PARALLEL_MIN_VALUES: usize = 1 << 16;
 
 /// The [`IndexPolicy::Auto`] chunking floor: a chunk covers at least this
 /// many values, so the per-chunk decode work dwarfs the seek + join cost.
@@ -83,23 +83,43 @@ struct ChunkStream {
 pub struct ShapeShifterCodec {
     group_size: usize,
     index_policy: IndexPolicy,
+    exec: ExecPolicy,
 }
 
 /// An encoded tensor: the packed stream plus the metadata needed to decode
 /// it and the accounting the evaluation reports.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncodedTensor {
-    bytes: Vec<u8>,
-    bit_len: u64,
-    len: usize,
-    dtype: FixedType,
-    group_size: usize,
-    groups: usize,
-    metadata_bits: u64,
-    payload_bits: u64,
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) bit_len: u64,
+    pub(crate) len: usize,
+    pub(crate) dtype: FixedType,
+    pub(crate) group_size: usize,
+    pub(crate) groups: usize,
+    pub(crate) metadata_bits: u64,
+    pub(crate) payload_bits: u64,
     /// Container-v2 chunk index, when the codec's policy wrote one. The
     /// stream bytes are identical either way; the index is side metadata.
-    index: Option<ChunkIndex>,
+    pub(crate) index: Option<ChunkIndex>,
+}
+
+impl Default for EncodedTensor {
+    /// An empty container (zero values, zero bits) — the valid encoding
+    /// of the empty tensor, and the natural starting point for the
+    /// buffer-reusing `CodecSession::encode_into` API.
+    fn default() -> Self {
+        Self {
+            bytes: Vec::new(),
+            bit_len: 0,
+            len: 0,
+            dtype: FixedType::U8,
+            group_size: 16,
+            groups: 0,
+            metadata_bits: 0,
+            payload_bits: 0,
+            index: None,
+        }
+    }
 }
 
 impl ShapeShifterCodec {
@@ -119,7 +139,51 @@ impl ShapeShifterCodec {
         Self {
             group_size,
             index_policy: IndexPolicy::Auto,
+            exec: ExecPolicy::Auto,
         }
+    }
+
+    /// Builds a codec from a [`CodecConfig`] — the non-panicking
+    /// constructor behind [`CodecConfig::build`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidGroupSize`] if the config's group size is 0
+    /// or exceeds 256.
+    pub fn from_config(config: CodecConfig) -> Result<Self, CodecError> {
+        if !(1..=256).contains(&config.group_size) {
+            return Err(CodecError::InvalidGroupSize);
+        }
+        Ok(Self {
+            group_size: config.group_size,
+            index_policy: config.index_policy,
+            exec: config.exec,
+        })
+    }
+
+    /// This codec's configuration as a [`CodecConfig`] builder value.
+    #[must_use]
+    pub fn config(&self) -> CodecConfig {
+        CodecConfig::new()
+            .with_group_size(self.group_size)
+            .with_index_policy(self.index_policy)
+            .with_exec(self.exec)
+    }
+
+    /// The same codec with a different execution policy (builder style).
+    ///
+    /// The policy only changes scheduling: every policy produces
+    /// bit-identical streams and accounting.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The configured execution policy.
+    #[must_use]
+    pub fn exec_policy(&self) -> ExecPolicy {
+        self.exec
     }
 
     /// The same codec with a different chunk-index policy (builder style).
@@ -150,7 +214,7 @@ impl ShapeShifterCodec {
     /// Resolves the index policy for a tensor of `len` values: `Some`
     /// groups-per-chunk when an index is worth writing (the tensor spans
     /// more than one chunk), `None` for a v1 stream.
-    fn index_chunk_groups(&self, len: usize) -> Option<usize> {
+    pub(crate) fn index_chunk_groups(&self, len: usize) -> Option<usize> {
         let chunk_groups = match self.index_policy {
             IndexPolicy::None => return None,
             IndexPolicy::EveryGroups(n) => n.max(1),
@@ -171,15 +235,17 @@ impl ShapeShifterCodec {
 
     /// Encodes a tensor into a ShapeShifter stream.
     ///
-    /// Large tensors are encoded in parallel: the tensor is cut on group
-    /// boundaries, each chunk is encoded by a scoped worker thread into its
-    /// own [`BitWriter`], and the chunk streams are spliced back in order.
-    /// Because groups are self-contained (paper §3) and splicing preserves
-    /// every bit phase, the output is **bit-identical** to a sequential
-    /// encode — the sequential path remains both the small-tensor fast path
-    /// and the oracle the property tests compare against. The worker count
-    /// comes from [`par::thread_count`] (`SS_THREADS` or the machine's
-    /// available parallelism).
+    /// Scheduling follows the codec's [`ExecPolicy`]: under the default
+    /// `Auto`, large tensors are encoded in parallel — the tensor is cut
+    /// on group boundaries, each chunk is encoded by a scoped worker
+    /// thread into its own [`BitWriter`], and the chunk streams are
+    /// spliced back in order. Because groups are self-contained (paper §3)
+    /// and splicing preserves every bit phase, the output is
+    /// **bit-identical** to a sequential encode — the sequential path
+    /// remains both the small-tensor fast path and the oracle the
+    /// property tests compare against. The `Auto` worker count comes from
+    /// [`par::thread_count`] (`SS_THREADS` or the machine's available
+    /// parallelism).
     ///
     /// # Errors
     ///
@@ -187,24 +253,33 @@ impl ShapeShifterCodec {
     /// (unreachable for valid tensors, by the tensor's container
     /// invariant).
     pub fn encode(&self, tensor: &Tensor) -> Result<EncodedTensor, CodecError> {
-        let threads = if tensor.len() < PARALLEL_MIN_VALUES {
-            1
-        } else {
-            par::thread_count()
-        };
-        self.encode_with_threads(tensor, threads)
+        let threads = self.exec.threads_for(tensor.len(), PARALLEL_MIN_VALUES);
+        self.encode_resolved(tensor, threads)
     }
 
     /// [`ShapeShifterCodec::encode`] with an explicit worker count.
     ///
-    /// `threads == 1` is the pure sequential path; any higher count
-    /// parallelizes regardless of tensor size (no small-tensor heuristic),
-    /// which is what the bit-identity tests and the perf baseline need.
-    ///
     /// # Errors
     ///
     /// Same as [`ShapeShifterCodec::encode`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_exec(ExecPolicy::Threads(n))` (or `Sequential`) and `encode`"
+    )]
     pub fn encode_with_threads(
+        &self,
+        tensor: &Tensor,
+        threads: usize,
+    ) -> Result<EncodedTensor, CodecError> {
+        self.encode_resolved(tensor, threads)
+    }
+
+    /// The encode body, with the worker count already resolved
+    /// (`threads <= 1` is the pure sequential path; any higher count
+    /// parallelizes regardless of tensor size — no small-tensor
+    /// heuristic — which is what the bit-identity tests and the perf
+    /// baseline need).
+    fn encode_resolved(
         &self,
         tensor: &Tensor,
         threads: usize,
@@ -352,10 +427,31 @@ impl ShapeShifterCodec {
         dtype: FixedType,
         capacity_hint: u64,
     ) -> Result<ChunkStream, CodecError> {
+        let mut w = BitWriter::with_capacity_bits(capacity_hint);
+        let (groups, metadata_bits, payload_bits) =
+            self.encode_groups_into(values, dtype, &mut w)?;
+        Ok(ChunkStream {
+            w,
+            groups,
+            metadata_bits,
+            payload_bits,
+        })
+    }
+
+    /// Appends the group encodings of `values` to an existing writer,
+    /// returning `(groups, metadata_bits, payload_bits)` — the inner loop
+    /// shared by [`ShapeShifterCodec::encode_chunk`] and the
+    /// buffer-reusing `CodecSession`, so session output is bit-identical
+    /// to the one-shot API by construction.
+    pub(crate) fn encode_groups_into(
+        &self,
+        values: &[i32],
+        dtype: FixedType,
+        w: &mut BitWriter,
+    ) -> Result<(usize, u64, u64), CodecError> {
         let det = WidthDetector::new(dtype.bits(), dtype.signedness());
         let prefix_bits = u32::from(det.prefix_bits());
         let signed = matches!(dtype.signedness(), Signedness::Signed);
-        let mut w = BitWriter::with_capacity_bits(capacity_hint);
         let mut groups = 0usize;
         let mut metadata_bits = 0u64;
         let mut payload_bits = 0u64;
@@ -402,43 +498,44 @@ impl ShapeShifterCodec {
             rec.record_widths(WidthHist::CodecGroupWidth, &group_widths);
             rec.add(Counter::EncodeZerosElided, zeros_elided);
         }
-        Ok(ChunkStream {
-            w,
-            groups,
-            metadata_bits,
-            payload_bits,
-        })
+        Ok((groups, metadata_bits, payload_bits))
     }
 
     /// Computes the exact encoded size of a tensor *without* materializing
-    /// the stream — the accounting identity `bit_len = metadata + payload`
-    /// holds against [`ShapeShifterCodec::encode`] bit-for-bit, at a
-    /// fraction of the cost. Used by the traffic schemes on multi-million
-    /// value layers.
+    /// the stream — the accounting identity
+    /// `total_bits() = metadata + payload` holds against
+    /// [`ShapeShifterCodec::encode`] bit-for-bit, at a fraction of the
+    /// cost. Used by the traffic schemes on multi-million value layers.
     ///
-    /// Returns `(metadata_bits, payload_bits, groups)`.
-    ///
-    /// Parallelizes over group-aligned chunks exactly like
-    /// [`ShapeShifterCodec::encode`]; per-chunk sums are order-independent,
-    /// so the totals match the sequential scan (and `encode`) exactly.
+    /// Scheduling follows the codec's [`ExecPolicy`]: parallel runs cut
+    /// on group-aligned chunks exactly like
+    /// [`ShapeShifterCodec::encode`]; per-chunk sums are
+    /// order-independent, so the totals match the sequential scan (and
+    /// `encode`) exactly.
     ///
     /// # Panics
     ///
     /// Never panics for a valid tensor.
     #[must_use]
-    pub fn measure(&self, tensor: &Tensor) -> (u64, u64, usize) {
-        let threads = if tensor.len() < PARALLEL_MIN_VALUES {
-            1
-        } else {
-            par::thread_count()
-        };
-        self.measure_with_threads(tensor, threads)
+    pub fn measure(&self, tensor: &Tensor) -> MeasureReport {
+        let threads = self.exec.threads_for(tensor.len(), PARALLEL_MIN_VALUES);
+        self.measure_resolved(tensor, threads)
     }
 
-    /// [`ShapeShifterCodec::measure`] with an explicit worker count
-    /// (`threads == 1` is the pure sequential scan).
+    /// [`ShapeShifterCodec::measure`] with an explicit worker count,
+    /// returning the old `(metadata_bits, payload_bits, groups)` tuple.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_exec(ExecPolicy::Threads(n))` and `measure`, which returns a named `MeasureReport`"
+    )]
     #[must_use]
     pub fn measure_with_threads(&self, tensor: &Tensor, threads: usize) -> (u64, u64, usize) {
+        self.measure_resolved(tensor, threads).into()
+    }
+
+    /// The measure body, with the worker count already resolved
+    /// (`threads == 1` is the pure sequential scan).
+    fn measure_resolved(&self, tensor: &Tensor, threads: usize) -> MeasureReport {
         let dtype = tensor.dtype();
         let values = tensor.values();
         let chunk_values = par::chunk_values(values.len(), self.group_size, threads.max(1));
@@ -459,7 +556,11 @@ impl ShapeShifterCodec {
             rec.add(Counter::MeasureValues, tensor.len() as u64);
             rec.add(Counter::MeasureBits, meta + payload);
         }
-        (meta, payload, groups)
+        MeasureReport {
+            metadata_bits: meta,
+            payload_bits: payload,
+            groups,
+        }
     }
 
     /// Sequential measurement of one group-aligned slice.
@@ -523,26 +624,35 @@ impl ShapeShifterCodec {
     ///   [`CodecError::IndexChunkMismatch`] if a chunk index is present
     ///   but disagrees with the framing metadata or the stream.
     pub fn decode(&self, encoded: &EncodedTensor) -> Result<Tensor, CodecError> {
-        let threads = if encoded.len < PARALLEL_MIN_VALUES {
-            1
-        } else {
-            par::thread_count()
-        };
-        self.decode_with_threads(encoded, threads)
+        let threads = self.exec.threads_for(encoded.len, PARALLEL_MIN_VALUES);
+        self.decode_resolved(encoded, threads)
     }
 
     /// [`ShapeShifterCodec::decode`] with an explicit worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShapeShifterCodec::decode`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_exec(ExecPolicy::Threads(n))` (or `Sequential`) and `decode`"
+    )]
+    pub fn decode_with_threads(
+        &self,
+        encoded: &EncodedTensor,
+        threads: usize,
+    ) -> Result<Tensor, CodecError> {
+        self.decode_resolved(encoded, threads)
+    }
+
+    /// The decode body, with the worker count already resolved.
     ///
     /// `threads <= 1` always takes the sequential parse (an index, if
     /// present, is ignored — the stream is self-contained); higher counts
     /// fan indexed containers out regardless of tensor size, which is what
     /// the differential tests and the perf baseline need. Unindexed (v1)
     /// containers decode sequentially whatever `threads` says.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`ShapeShifterCodec::decode`].
-    pub fn decode_with_threads(
+    fn decode_resolved(
         &self,
         encoded: &EncodedTensor,
         threads: usize,
@@ -584,6 +694,27 @@ impl ShapeShifterCodec {
         dtype: FixedType,
         len: usize,
     ) -> Result<Vec<i32>, CodecError> {
+        // No preallocation from `len` here: it is untrusted framing
+        // metadata until `decode_stream_into` has bounded it against the
+        // stream length (a hostile header must not OOM the process).
+        let mut data: Vec<i32> = Vec::new();
+        self.decode_stream_into(bytes, bit_len, dtype, len, &mut data)?;
+        Ok(data)
+    }
+
+    /// [`ShapeShifterCodec::decode_stream`] into a caller-owned buffer —
+    /// the body behind both the one-shot path and `CodecSession`'s
+    /// allocation-free `decode_into`. `data` is cleared first; on success
+    /// it holds exactly `len` decoded values.
+    pub(crate) fn decode_stream_into(
+        &self,
+        bytes: &[u8],
+        bit_len: u64,
+        dtype: FixedType,
+        len: usize,
+        data: &mut Vec<i32>,
+    ) -> Result<(), CodecError> {
+        data.clear();
         if bit_len > bytes.len() as u64 * 8 {
             return Err(CodecError::Stream(ss_bitio::BitIoError::UnexpectedEnd {
                 requested: u32::MAX,
@@ -605,8 +736,8 @@ impl ShapeShifterCodec {
         // is a property of the container, not of any value.
         let signed = matches!(dtype.signedness(), Signedness::Signed);
         let mut r = BitReader::with_bit_len(bytes, bit_len);
-        let mut data: Vec<i32> = Vec::with_capacity(len);
-        self.decode_groups(&mut r, &det, dtype, signed, len, 0, 0, &mut data)?;
+        data.reserve(len);
+        self.decode_groups(&mut r, &det, dtype, signed, len, 0, 0, data)?;
         // A well-formed container is consumed exactly: its framing metadata
         // (bit length + element count) and its group contents agree. This is
         // a hard typed error, not a debug assertion, because hostile streams
@@ -621,7 +752,7 @@ impl ShapeShifterCodec {
             rec.add(Counter::DecodeCalls, 1);
             rec.add(Counter::DecodeValues, data.len() as u64);
         }
-        Ok(data)
+        Ok(())
     }
 
     /// Decodes a raw stream *with* its container-v2 chunk index: validates
@@ -1084,11 +1215,11 @@ mod tests {
         for group in [1usize, 7, 16, 64, 256] {
             let codec = ShapeShifterCodec::new(group);
             let enc = codec.encode(&tensor).unwrap();
-            let (meta, payload, groups) = codec.measure(&tensor);
-            assert_eq!(meta, enc.metadata_bits(), "group {group}");
-            assert_eq!(payload, enc.payload_bits(), "group {group}");
-            assert_eq!(groups, enc.groups(), "group {group}");
-            assert_eq!(meta + payload, enc.bit_len(), "group {group}");
+            let report = codec.measure(&tensor);
+            assert_eq!(report.metadata_bits, enc.metadata_bits(), "group {group}");
+            assert_eq!(report.payload_bits, enc.payload_bits(), "group {group}");
+            assert_eq!(report.groups, enc.groups(), "group {group}");
+            assert_eq!(report.total_bits(), enc.bit_len(), "group {group}");
         }
     }
 
@@ -1104,12 +1235,44 @@ mod tests {
         for group in [16usize, 256] {
             let codec = ShapeShifterCodec::new(group);
             let auto = codec.encode(&tensor).unwrap();
-            let oracle = codec.encode_with_threads(&tensor, 1).unwrap();
+            let oracle = codec
+                .with_exec(ExecPolicy::Sequential)
+                .encode(&tensor)
+                .unwrap();
             assert_eq!(auto, oracle, "group {group}");
-            let forced = codec.encode_with_threads(&tensor, 8).unwrap();
+            let forced = codec
+                .with_exec(ExecPolicy::Threads(8))
+                .encode(&tensor)
+                .unwrap();
             assert_eq!(forced, oracle, "group {group}");
-            assert_eq!(codec.measure(&tensor), codec.measure_with_threads(&tensor, 8));
+            assert_eq!(
+                codec.measure(&tensor),
+                codec.with_exec(ExecPolicy::Threads(8)).measure(&tensor)
+            );
             assert_eq!(codec.decode(&forced).unwrap(), tensor);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn with_threads_shims_delegate_to_exec_policy() {
+        // The deprecated `*_with_threads` names must stay exact aliases
+        // of the ExecPolicy-driven API until they are removed.
+        let vals: Vec<i32> = (0..5000).map(|i| ((i * 97) % 600) - 300).collect();
+        let tensor = t(FixedType::I16, vals);
+        let codec = ShapeShifterCodec::new(16);
+        for threads in [1usize, 4] {
+            let via_policy = codec.with_exec(ExecPolicy::Threads(threads));
+            let shim = codec.encode_with_threads(&tensor, threads).unwrap();
+            assert_eq!(shim, via_policy.encode(&tensor).unwrap());
+            assert_eq!(
+                codec.measure_with_threads(&tensor, threads),
+                via_policy.measure(&tensor).into()
+            );
+            assert_eq!(
+                codec.decode_with_threads(&shim, threads).unwrap(),
+                via_policy.decode(&shim).unwrap()
+            );
         }
     }
 

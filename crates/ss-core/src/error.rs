@@ -9,7 +9,10 @@ use ss_tensor::TensorError;
 /// A decoder fed a corrupted or truncated stream must fail cleanly — the
 /// memory container travels over DDR4 and a robust implementation surfaces
 /// framing problems instead of producing garbage tensors.
+/// Marked `#[non_exhaustive]`: new failure modes may be added without a
+/// breaking change, so downstream `match`es keep a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CodecError {
     /// The underlying bit stream ended early or was malformed.
     Stream(BitIoError),

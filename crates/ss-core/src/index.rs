@@ -138,6 +138,14 @@ impl ChunkIndex {
         &self.entries
     }
 
+    /// Consumes the index, returning its entry buffer for reuse — the
+    /// hook that lets `CodecSession::encode_into` rebuild a fresh index
+    /// into the previous container's allocation instead of a new one.
+    #[must_use]
+    pub fn into_entries(self) -> Vec<ChunkEntry> {
+        self.entries
+    }
+
     /// Size of the serialized index in bits (header + entries + padding +
     /// checksum) — the metadata overhead a v2 container pays for random
     /// access.

@@ -53,14 +53,37 @@
 pub mod analysis;
 mod checked;
 mod codec;
+mod config;
 pub mod decompressor;
 mod detector;
 mod error;
 pub mod index;
 pub mod par;
 pub mod scheme;
+mod session;
 
 pub use codec::{EncodedTensor, IndexPolicy, ShapeShifterCodec};
+pub use config::{CodecConfig, ExecPolicy, MeasureReport};
 pub use detector::WidthDetector;
 pub use error::CodecError;
 pub use index::{ChunkEntry, ChunkIndex};
+pub use session::CodecSession;
+
+/// The blessed public surface, re-exported for glob import.
+///
+/// ```
+/// use ss_core::prelude::*;
+///
+/// let codec = CodecConfig::new()
+///     .with_exec(ExecPolicy::Sequential)
+///     .build()
+///     .expect("valid config");
+/// let mut session = CodecSession::new(codec.config()).expect("valid config");
+/// # let _ = (codec, &mut session);
+/// ```
+pub mod prelude {
+    pub use crate::codec::{EncodedTensor, IndexPolicy, ShapeShifterCodec};
+    pub use crate::config::{CodecConfig, ExecPolicy, MeasureReport};
+    pub use crate::error::CodecError;
+    pub use crate::session::CodecSession;
+}

@@ -61,8 +61,8 @@ impl CompressionScheme for ShapeShifterScheme {
     }
 
     fn compressed_bits(&self, tensor: &Tensor, _ctx: &SchemeCtx) -> u64 {
-        let (metadata, payload, _groups) = self.codec.measure(tensor);
-        ARRAY_FLAG_BITS + (metadata + payload).min(tensor.container_bits())
+        let report = self.codec.measure(tensor);
+        ARRAY_FLAG_BITS + report.total_bits().min(tensor.container_bits())
     }
 
     fn compressed_bits_from_stats(&self, stats: &TensorStats, _ctx: &SchemeCtx) -> Option<u64> {

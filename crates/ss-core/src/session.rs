@@ -1,0 +1,336 @@
+//! [`CodecSession`]: a reusable encode/decode context that amortizes
+//! every buffer across calls.
+//!
+//! The one-shot [`crate::ShapeShifterCodec`] API allocates a fresh
+//! [`BitWriter`] per encode and a fresh value vector per decode. That is
+//! the right shape for single tensors, but a batch engine pushing
+//! thousands of tensors through one worker pays the allocator on every
+//! call. A `CodecSession` owns the scratch instead — the bit writer, the
+//! decode value buffer and the chunk-index entry buffer — and the
+//! `*_into` methods recycle the *output* containers too, so a
+//! steady-state loop over same-sized tensors performs **zero heap
+//! allocations per tensor** (asserted by a counting-allocator test in
+//! `tests/session_alloc.rs`).
+//!
+//! Sessions are scheduling-transparent: a session encodes and decodes on
+//! the calling thread (the natural fit for `ss-pipeline`, which runs one
+//! session per worker), and its output is **bit-identical** to the
+//! one-shot API under every [`crate::ExecPolicy`] — both call into the
+//! same group loop ([`ShapeShifterCodec::encode_groups_into`] /
+//! `decode_stream_into`) and cut index chunks at the same
+//! policy-determined boundaries, so identity holds by construction and is
+//! re-checked by the property suite in `tests/session_reuse.rs` and the
+//! golden-vector corpus.
+
+use ss_bitio::BitWriter;
+use ss_tensor::Tensor;
+
+use crate::codec::{EncodedTensor, IndexPolicy, ShapeShifterCodec};
+use crate::index::{ChunkEntry, ChunkIndex};
+use crate::{checked, CodecConfig, CodecError, ExecPolicy};
+
+/// A reusable encode/decode context: one codec configuration plus the
+/// scratch buffers that the one-shot API would otherwise allocate per
+/// call. See the [module docs](self) for the reuse contract.
+///
+/// # Examples
+///
+/// ```
+/// use ss_core::prelude::*;
+/// use ss_tensor::{FixedType, Shape, Tensor};
+///
+/// # fn main() -> Result<(), CodecError> {
+/// let mut session = CodecSession::new(CodecConfig::new())?;
+/// let mut encoded = EncodedTensor::default();
+/// let mut decoded = Tensor::zeros(Shape::flat(0), FixedType::I16);
+/// for round in 0..3 {
+///     let t = Tensor::from_vec(
+///         Shape::flat(4),
+///         FixedType::I16,
+///         vec![round, 0, -7, 300],
+///     )?;
+///     session.encode_into(&t, &mut encoded)?; // buffers reused each round
+///     session.decode_into(&encoded, &mut decoded)?;
+///     assert_eq!(decoded, t);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CodecSession {
+    codec: ShapeShifterCodec,
+    /// Reusable encode stream buffer (cleared, never shrunk, per call).
+    w: BitWriter,
+    /// Reusable decode value buffer; swapped with the output tensor's
+    /// storage each `decode_into`, so both grow once to the high-water
+    /// mark and then cycle.
+    values: Vec<i32>,
+    /// Reusable chunk-index entry buffer for encodes whose policy writes
+    /// an index. Reclaimed from the output container's previous index.
+    entries: Vec<ChunkEntry>,
+}
+
+impl CodecSession {
+    /// Creates a session from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidGroupSize`] if the config's group size is 0 or
+    /// exceeds 256.
+    pub fn new(config: CodecConfig) -> Result<Self, CodecError> {
+        Ok(Self {
+            codec: ShapeShifterCodec::from_config(config)?,
+            w: BitWriter::new(),
+            values: Vec::new(),
+            entries: Vec::new(),
+        })
+    }
+
+    /// The session's configuration.
+    #[must_use]
+    pub fn config(&self) -> CodecConfig {
+        self.codec.config()
+    }
+
+    /// The codec this session wraps (same configuration, one-shot API).
+    #[must_use]
+    pub fn codec(&self) -> &ShapeShifterCodec {
+        &self.codec
+    }
+
+    /// Encodes `tensor` into an existing container, reusing both the
+    /// session's scratch and the container's buffers.
+    ///
+    /// `out` is fully overwritten; its previous contents only determine
+    /// how much allocated capacity the call starts with. The resulting
+    /// container — stream bytes, accounting and chunk index alike — is
+    /// **bit-identical** to `self.codec().encode(tensor)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShapeShifterCodec::encode`].
+    pub fn encode_into(
+        &mut self,
+        tensor: &Tensor,
+        out: &mut EncodedTensor,
+    ) -> Result<(), CodecError> {
+        let values = tensor.values();
+        let dtype = tensor.dtype();
+        self.w.clear();
+        // Reclaim the output container's previous index entries as this
+        // call's build buffer (keep whichever buffer is larger).
+        if let Some(prev) = out.index.take() {
+            let prev = prev.into_entries();
+            if prev.capacity() > self.entries.capacity() {
+                self.entries = prev;
+            }
+        }
+        self.entries.clear();
+
+        let (groups, metadata_bits, payload_bits, index) =
+            match self.codec.index_chunk_groups(values.len()) {
+                Some(chunk_groups) => {
+                    // Same chunk boundaries as the one-shot indexed encode:
+                    // the index is a pure function of (config, len), never
+                    // of the session or its history.
+                    let chunk_values = chunk_groups * self.codec.group_size();
+                    let mut entries = std::mem::take(&mut self.entries);
+                    let mut groups = 0usize;
+                    let mut metadata_bits = 0u64;
+                    let mut payload_bits = 0u64;
+                    for chunk in values.chunks(chunk_values) {
+                        entries.push(ChunkEntry {
+                            bit_offset: self.w.bit_len(),
+                            values: chunk.len() as u64,
+                        });
+                        let (g, m, p) = self.codec.encode_groups_into(chunk, dtype, &mut self.w)?;
+                        groups += g;
+                        metadata_bits += m;
+                        payload_bits += p;
+                    }
+                    // `index_chunk_groups` rejects chunk sizes beyond u32,
+                    // so the cast is lossless.
+                    // ss-lint: allow(truncating-cast) -- bounded by index_chunk_groups' u32 guard
+                    let index = ChunkIndex::from_parts(chunk_groups as u32, entries)?;
+                    checked::index_bookkeeping(
+                        &index,
+                        self.codec.group_size(),
+                        self.w.bit_len(),
+                        values.len(),
+                    );
+                    (groups, metadata_bits, payload_bits, Some(index))
+                }
+                None => {
+                    let (g, m, p) = self.codec.encode_groups_into(values, dtype, &mut self.w)?;
+                    (g, m, p, None)
+                }
+            };
+
+        let rec = ss_trace::global();
+        if rec.enabled() {
+            rec.add(ss_trace::Counter::EncodeCalls, 1);
+            rec.add(ss_trace::Counter::EncodeValues, tensor.len() as u64);
+            rec.add(ss_trace::Counter::EncodeBits, self.w.bit_len());
+            rec.add(ss_trace::Counter::EncodeMetadataBits, metadata_bits);
+            rec.add(ss_trace::Counter::EncodePayloadBits, payload_bits);
+            rec.add(ss_trace::Counter::EncodeGroups, groups as u64);
+        }
+
+        out.bytes.clear();
+        out.bytes.extend_from_slice(self.w.as_bytes());
+        out.bit_len = self.w.bit_len();
+        out.len = tensor.len();
+        out.dtype = dtype;
+        out.group_size = self.codec.group_size();
+        out.groups = groups;
+        out.metadata_bits = metadata_bits;
+        out.payload_bits = payload_bits;
+        out.index = index;
+        Ok(())
+    }
+
+    /// Decodes a container into an existing tensor, reusing the session's
+    /// value scratch and the tensor's storage (swapped, not copied).
+    ///
+    /// `out` is fully overwritten: it takes the container's dtype, a flat
+    /// shape of the decoded length, and the decoded values. The result is
+    /// identical to `self.codec().decode(encoded)` — the session parses
+    /// the stream sequentially, which every container supports (a chunk
+    /// index, if present, is side metadata the sequential parse ignores).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShapeShifterCodec::decode`].
+    pub fn decode_into(
+        &mut self,
+        encoded: &EncodedTensor,
+        out: &mut Tensor,
+    ) -> Result<(), CodecError> {
+        // Decode under the *container's* group size (which may differ from
+        // the session's), exactly as the one-shot decode does.
+        let codec = ShapeShifterCodec::from_config(
+            CodecConfig::new()
+                .with_group_size(encoded.group_size)
+                .with_index_policy(IndexPolicy::None)
+                .with_exec(ExecPolicy::Sequential),
+        )?;
+        codec.decode_stream_into(
+            &encoded.bytes,
+            encoded.bit_len,
+            encoded.dtype,
+            encoded.len,
+            &mut self.values,
+        )?;
+        // Swap the decoded buffer into the tensor and keep its previous
+        // storage as the next call's scratch. The range re-validation in
+        // `replace_flat` cannot fail: every decoded value passed the
+        // container check in `decode_groups`.
+        let scratch = std::mem::take(&mut self.values);
+        self.values = out.replace_flat(encoded.dtype, scratch)?;
+        Ok(())
+    }
+
+    /// One-shot encode through the session (allocates the container, but
+    /// still reuses the session's stream scratch).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShapeShifterCodec::encode`].
+    pub fn encode(&mut self, tensor: &Tensor) -> Result<EncodedTensor, CodecError> {
+        let mut out = EncodedTensor::default();
+        self.encode_into(tensor, &mut out)?;
+        Ok(out)
+    }
+
+    /// One-shot decode through the session (allocates the tensor, but
+    /// still reuses the session's value scratch).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShapeShifterCodec::decode`].
+    pub fn decode(&mut self, encoded: &EncodedTensor) -> Result<Tensor, CodecError> {
+        let mut out = Tensor::zeros(ss_tensor::Shape::flat(0), encoded.dtype);
+        self.decode_into(encoded, &mut out)?;
+        Ok(out)
+    }
+
+    /// Bytes of stream-scratch capacity currently held (the encode
+    /// high-water mark; diagnostic only).
+    #[must_use]
+    pub fn scratch_capacity_bytes(&self) -> usize {
+        self.w.capacity_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_tensor::{FixedType, Shape};
+
+    fn tensor(len: usize, seed: i32) -> Tensor {
+        let vals: Vec<i32> = (0..len as i32)
+            .map(|i| {
+                let x = (i.wrapping_mul(31) ^ seed) % 500;
+                if x % 3 == 0 {
+                    0
+                } else {
+                    x - 250
+                }
+            })
+            .collect();
+        Tensor::from_vec(Shape::flat(len), FixedType::I16, vals).unwrap()
+    }
+
+    #[test]
+    fn session_matches_one_shot_including_index() {
+        let cfg = CodecConfig::new().with_index_policy(IndexPolicy::EveryGroups(4));
+        let codec = cfg.build().unwrap();
+        let mut session = CodecSession::new(cfg).unwrap();
+        let mut out = EncodedTensor::default();
+        for len in [0usize, 1, 15, 16, 17, 1000] {
+            let t = tensor(len, 7);
+            session.encode_into(&t, &mut out).unwrap();
+            let one_shot = codec.encode(&t).unwrap();
+            assert_eq!(out, one_shot, "len {len}");
+            let mut back = Tensor::zeros(Shape::flat(0), FixedType::I16);
+            session.decode_into(&out, &mut back).unwrap();
+            assert_eq!(back, t, "len {len}");
+        }
+    }
+
+    #[test]
+    fn reuse_across_mixed_sizes_is_clean() {
+        let mut session = CodecSession::new(CodecConfig::new()).unwrap();
+        let mut out = EncodedTensor::default();
+        let mut back = Tensor::zeros(Shape::flat(0), FixedType::I16);
+        // Shrinking and growing between calls must not leak stale state.
+        for (round, len) in [1000usize, 3, 0, 517, 64].into_iter().enumerate() {
+            let t = tensor(len, round as i32);
+            session.encode_into(&t, &mut out).unwrap();
+            session.decode_into(&out, &mut back).unwrap();
+            assert_eq!(back, t, "round {round} len {len}");
+        }
+    }
+
+    #[test]
+    fn session_convenience_calls_match_one_shot() {
+        let cfg = CodecConfig::new();
+        let mut session = CodecSession::new(cfg).unwrap();
+        let t = tensor(333, 1);
+        let enc = session.encode(&t).unwrap();
+        assert_eq!(enc, cfg.build().unwrap().encode(&t).unwrap());
+        assert_eq!(session.decode(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn decode_under_foreign_group_size() {
+        // Session configured for group 16 must decode a group-64 container.
+        let foreign = CodecConfig::new().with_group_size(64).build().unwrap();
+        let t = tensor(200, 9);
+        let enc = foreign.encode(&t).unwrap();
+        let mut session = CodecSession::new(CodecConfig::new()).unwrap();
+        let mut back = Tensor::zeros(Shape::flat(0), FixedType::I16);
+        session.decode_into(&enc, &mut back).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 use ss_core::scheme::{Base, CompressionScheme, ProfileScheme, SchemeCtx, ShapeShifterScheme, ZeroRle};
-use ss_core::{ChunkIndex, IndexPolicy, ShapeShifterCodec, WidthDetector};
+use ss_core::{ChunkIndex, ExecPolicy, IndexPolicy, ShapeShifterCodec, WidthDetector};
 use ss_tensor::{width, FixedType, Shape, Signedness, Tensor, TensorStats};
 
 /// Strategy producing a tensor with a skewed (mostly-small, some zeros,
@@ -57,9 +57,12 @@ proptest! {
         // same bit length, same accounting — for every thread count the
         // harness uses (SS_THREADS in {1, 2, 8}).
         let codec = ShapeShifterCodec::new(group);
-        let oracle = codec.encode_with_threads(&t, 1).unwrap();
+        let oracle = codec.with_exec(ExecPolicy::Sequential).encode(&t).unwrap();
         for threads in [2usize, 8] {
-            let par = codec.encode_with_threads(&t, threads).unwrap();
+            let par = codec
+                .with_exec(ExecPolicy::Threads(threads))
+                .encode(&t)
+                .unwrap();
             prop_assert_eq!(par.bytes(), oracle.bytes(), "threads {}", threads);
             prop_assert_eq!(par.bit_len(), oracle.bit_len());
             prop_assert_eq!(par.metadata_bits(), oracle.metadata_bits());
@@ -88,10 +91,13 @@ proptest! {
             prop_assert_eq!(enc.bytes(), v1.bytes(), "group {}", group);
             prop_assert_eq!(enc.bit_len(), v1.bit_len());
             prop_assert!(v1.index().is_none());
-            let oracle = codec.decode_with_threads(&enc, 1).unwrap();
+            let oracle = codec.with_exec(ExecPolicy::Sequential).decode(&enc).unwrap();
             prop_assert_eq!(&oracle, &t);
             for threads in [2usize, 4, 8] {
-                let par = codec.decode_with_threads(&enc, threads).unwrap();
+                let par = codec
+                    .with_exec(ExecPolicy::Threads(threads))
+                    .decode(&enc)
+                    .unwrap();
                 prop_assert_eq!(&par, &oracle, "group {} threads {}", group, threads);
             }
             // A written index survives its serialized form, and the
@@ -119,13 +125,13 @@ proptest! {
         group in 1usize..=256,
     ) {
         let codec = ShapeShifterCodec::new(group);
-        let enc = codec.encode_with_threads(&t, 8).unwrap();
+        let enc = codec.with_exec(ExecPolicy::Threads(8)).encode(&t).unwrap();
         for threads in [1usize, 2, 8] {
-            let (meta, payload, groups) = codec.measure_with_threads(&t, threads);
-            prop_assert_eq!(meta, enc.metadata_bits(), "threads {}", threads);
-            prop_assert_eq!(payload, enc.payload_bits());
-            prop_assert_eq!(groups, enc.groups());
-            prop_assert_eq!(meta + payload, enc.bit_len());
+            let report = codec.with_exec(ExecPolicy::Threads(threads)).measure(&t);
+            prop_assert_eq!(report.metadata_bits, enc.metadata_bits(), "threads {}", threads);
+            prop_assert_eq!(report.payload_bits, enc.payload_bits());
+            prop_assert_eq!(report.groups, enc.groups());
+            prop_assert_eq!(report.total_bits(), enc.bit_len());
         }
     }
 

@@ -30,7 +30,7 @@
 
 use std::path::PathBuf;
 
-use ss_core::{ChunkIndex, IndexPolicy, ShapeShifterCodec};
+use ss_core::{ChunkIndex, CodecSession, IndexPolicy, ShapeShifterCodec};
 use ss_tensor::{FixedType, Shape, Signedness, Tensor};
 
 /// One pinned conformance case.
@@ -276,6 +276,59 @@ fn golden_vectors_conform() {
                     case.name
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn golden_vectors_round_trip_through_session() {
+    // The buffer-reusing `CodecSession` API must conform to the same
+    // pinned artifacts as the one-shot API: `encode_into` reproduces each
+    // golden stream byte-for-byte (index included) and `decode_into`
+    // recovers each golden value corpus. One output container and one
+    // output tensor are recycled across the whole corpus, so the reuse
+    // path is exercised across group sizes, dtypes and index policies.
+    if std::env::var_os("SS_GOLDEN_REGEN").is_some() {
+        return; // files are being rewritten by the conform test this run
+    }
+    let dir = golden_dir();
+    let mut out = ss_core::EncodedTensor::default();
+    let mut back = Tensor::zeros(Shape::flat(0), FixedType::U8);
+    for case in CASES {
+        let values = golden_values(case.seed, case.len, case.dtype);
+        let tensor =
+            Tensor::from_vec(Shape::flat(case.len), case.dtype, values.clone()).unwrap();
+        let config = ss_core::CodecConfig::new()
+            .with_group_size(case.group)
+            .with_index_policy(case.policy);
+        let mut session = CodecSession::new(config).unwrap();
+        // Two rounds through the same session: the second runs entirely on
+        // recycled buffers and must not drift.
+        for round in 0..2 {
+            session.encode_into(&tensor, &mut out).unwrap();
+            let golden_stream = std::fs::read(dir.join(format!("{}.stream.bin", case.name)))
+                .unwrap_or_else(|e| panic!("{}: missing golden stream ({e})", case.name));
+            assert_eq!(
+                out.bytes(),
+                &golden_stream[..],
+                "{} round {round}: session stream drifted from golden",
+                case.name
+            );
+            assert_eq!(fnv1a(out.bytes()), case.stream_hash, "{}", case.name);
+            assert_eq!(out.bit_len(), case.bit_len, "{}", case.name);
+            let index_blob = out.index().map(|i| i.to_bytes().unwrap());
+            assert_eq!(
+                index_blob.as_deref().map_or(0, fnv1a),
+                case.index_hash,
+                "{} round {round}: session index drifted",
+                case.name
+            );
+            session.decode_into(&out, &mut back).unwrap();
+            assert_eq!(
+                back, tensor,
+                "{} round {round}: session decode drifted",
+                case.name
+            );
         }
     }
 }

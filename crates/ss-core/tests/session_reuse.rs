@@ -1,0 +1,107 @@
+// Tests may unwrap/expect freely: a panic here is a test failure, not a
+// product-code defect (the workspace clippy lints exempt test code).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+//! Property suite for [`CodecSession`] reuse: one session driven through
+//! an arbitrary sequence of tensors — mixed lengths, dtypes and value
+//! distributions — must produce containers **bit-identical** to a fresh
+//! one-shot encode of each tensor, under every index policy, and decode
+//! each container back losslessly into recycled output buffers.
+//!
+//! This is the contract that lets `ss-pipeline` run one long-lived
+//! session per worker: no history dependence, no stale state, no drift.
+
+use proptest::prelude::*;
+use ss_core::prelude::*;
+use ss_tensor::{FixedType, Shape, Signedness, Tensor};
+
+/// Strategy producing a tensor with a skewed (mostly-small, some zeros,
+/// rare large) value distribution over an arbitrary container.
+fn arb_tensor() -> impl Strategy<Value = Tensor> {
+    let dtype = prop_oneof![
+        Just(FixedType::I16),
+        Just(FixedType::U16),
+        Just(FixedType::I8),
+        Just(FixedType::U8),
+    ];
+    (dtype, 0usize..400).prop_flat_map(|(dt, len)| {
+        let max = dt.max_magnitude();
+        let value = prop_oneof![
+            4 => Just(0i32),
+            8 => 1i32..=15.min(max),
+            3 => 1i32..=max,
+        ];
+        let signed = dt.signedness() == Signedness::Signed;
+        prop::collection::vec((value, any::<bool>()), len).prop_map(move |pairs| {
+            let vals = pairs
+                .into_iter()
+                .map(|(v, neg)| if signed && neg { -v } else { v })
+                .collect();
+            Tensor::from_vec(Shape::flat(len), dt, vals).expect("values fit container")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn one_session_matches_fresh_one_shot_per_tensor(
+        tensors in prop::collection::vec(arb_tensor(), 1..8),
+        group in 1usize..=256,
+        chunk_groups in 1usize..=6,
+    ) {
+        let policies = [
+            IndexPolicy::None,
+            IndexPolicy::EveryGroups(chunk_groups),
+            IndexPolicy::Auto,
+        ];
+        for policy in policies {
+            let cfg = CodecConfig::new()
+                .with_group_size(group)
+                .with_index_policy(policy);
+            let codec = cfg.build().unwrap();
+            let mut session = CodecSession::new(cfg).unwrap();
+            // One container and one tensor recycled across the whole
+            // sequence — shrinking, growing and switching dtypes between
+            // calls must leave no trace in the output.
+            let mut out = EncodedTensor::default();
+            let mut back = Tensor::zeros(Shape::flat(0), FixedType::U8);
+            for (i, t) in tensors.iter().enumerate() {
+                session.encode_into(t, &mut out).unwrap();
+                let one_shot = codec.encode(t).unwrap();
+                prop_assert_eq!(
+                    &out, &one_shot,
+                    "tensor {} under {:?}: session container diverged",
+                    i, policy
+                );
+                session.decode_into(&out, &mut back).unwrap();
+                prop_assert_eq!(
+                    &back, t,
+                    "tensor {} under {:?}: session decode diverged",
+                    i, policy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_measure_identity_holds_for_session_containers(
+        tensors in prop::collection::vec(arb_tensor(), 1..5),
+        group in 1usize..=64,
+    ) {
+        // The accounting identity carries over to session-built
+        // containers: measure's named report equals the container the
+        // session wrote.
+        let cfg = CodecConfig::new().with_group_size(group);
+        let codec = cfg.build().unwrap();
+        let mut session = CodecSession::new(cfg).unwrap();
+        let mut out = EncodedTensor::default();
+        for t in &tensors {
+            session.encode_into(t, &mut out).unwrap();
+            let report: MeasureReport = codec.measure(t);
+            prop_assert_eq!(report.metadata_bits, out.metadata_bits());
+            prop_assert_eq!(report.payload_bits, out.payload_bits());
+            prop_assert_eq!(report.groups, out.groups());
+            prop_assert_eq!(report.total_bits(), out.bit_len());
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! and the counter totals agree with the codec's own accounting.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use ss_core::ShapeShifterCodec;
+use ss_core::{ExecPolicy, ShapeShifterCodec};
 use ss_tensor::{FixedType, Shape, Tensor};
 use ss_trace::{Counter, TraceRecorder, WidthHist};
 
@@ -36,8 +36,8 @@ fn codec_counters_and_width_hist() {
 
     // --- measure agrees with encode in the trace too ---
     let mbits0 = rec.counter(Counter::MeasureBits);
-    let (meta, payload, _groups) = codec.measure(&tensor);
-    assert_eq!(meta + payload, enc.bit_len());
+    let report = codec.measure(&tensor);
+    assert_eq!(report.total_bits(), enc.bit_len());
     assert_eq!(rec.counter(Counter::MeasureBits), mbits0 + enc.bit_len());
     assert_eq!(rec.counter(Counter::MeasureCalls), 1);
 
@@ -53,12 +53,12 @@ fn codec_counters_and_width_hist() {
     let big = Tensor::from_vec(Shape::flat(big.len()), FixedType::I16, big).unwrap();
     let seq_bits = {
         let b0 = rec.counter(Counter::EncodeBits);
-        codec.encode_with_threads(&big, 1).unwrap();
+        codec.with_exec(ExecPolicy::Sequential).encode(&big).unwrap();
         rec.counter(Counter::EncodeBits) - b0
     };
     let par_bits = {
         let b0 = rec.counter(Counter::EncodeBits);
-        codec.encode_with_threads(&big, 4).unwrap();
+        codec.with_exec(ExecPolicy::Threads(4)).encode(&big).unwrap();
         rec.counter(Counter::EncodeBits) - b0
     };
     assert_eq!(seq_bits, par_bits);

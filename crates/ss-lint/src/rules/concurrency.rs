@@ -1,11 +1,13 @@
 //! Rule `concurrency-containment`: thread and lock primitives live only
-//! in `ss-core::par`.
+//! in the designated containment modules.
 //!
 //! PR 1 made encode/measure multi-threaded; the splice-ordering guarantees
 //! that keep parallel output bit-identical to the sequential oracle are
-//! argued once, in `crates/ss-core/src/par.rs`. Scattered `thread::spawn`
-//! or ad-hoc locks elsewhere would re-open those arguments file by file —
-//! so everywhere else, spawning (`thread::spawn`, `thread::scope`) and
+//! argued once, in `crates/ss-core/src/par.rs`. The `ss-pipeline` batch
+//! engine adds a second, equally self-contained concurrency argument: its
+//! bounded queue and worker pool. Scattered `thread::spawn` or ad-hoc
+//! locks elsewhere would re-open those arguments file by file — so
+//! everywhere else, spawning (`thread::spawn`, `thread::scope`) and
 //! blocking synchronization (`Mutex`, `RwLock`, `Condvar`) are forbidden.
 //! Test code is exempt, and deliberate exceptions (a process-wide cache)
 //! carry a file-scoped allow-annotation with their safety argument.
@@ -14,8 +16,14 @@ use super::{has_token, Rule};
 use crate::diag::Diagnostic;
 use crate::workspace::{FileKind, Workspace};
 
-/// The one module allowed to spawn threads and take locks.
-pub const CONTAINMENT: &str = "crates/ss-core/src/par.rs";
+/// The modules allowed to spawn threads and take locks: the chunk-level
+/// parallelism substrate, and the `ss-pipeline` queue + worker pool
+/// (whose blocking backpressure is the crate's whole point).
+pub const CONTAINMENT: &[&str] = &[
+    "crates/ss-core/src/par.rs",
+    "crates/ss-pipeline/src/queue.rs",
+    "crates/ss-pipeline/src/engine.rs",
+];
 
 const PATTERNS: &[&str] = &[
     "thread::spawn",
@@ -34,12 +42,12 @@ impl Rule for Concurrency {
     }
 
     fn description(&self) -> &'static str {
-        "thread spawning and locks are confined to ss-core::par"
+        "thread spawning and locks are confined to the containment modules"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
         for file in &ws.files {
-            if file.kind != FileKind::Source || file.rel == CONTAINMENT {
+            if file.kind != FileKind::Source || CONTAINMENT.contains(&file.rel.as_str()) {
                 continue;
             }
             for (idx, line) in file.lines.iter().enumerate() {
@@ -54,9 +62,10 @@ impl Rule for Concurrency {
                             file: file.rel.clone(),
                             line: lineno,
                             message: format!(
-                                "`{pat}` outside `{CONTAINMENT}`: route parallelism through \
-                                 `ss_core::par` (scoped_map/par_map) or annotate the \
-                                 containment exception"
+                                "`{pat}` outside the containment modules {CONTAINMENT:?}: \
+                                 route parallelism through `ss_core::par` \
+                                 (scoped_map/par_map) or the `ss-pipeline` engine, or \
+                                 annotate the containment exception"
                             ),
                             snippet: file.snippet(lineno),
                         });
@@ -93,8 +102,18 @@ mod tests {
     }
 
     #[test]
-    fn par_module_is_exempt() {
-        assert!(run_at(CONTAINMENT, "std::thread::spawn(|| {});").is_empty());
+    fn containment_modules_are_exempt() {
+        for module in CONTAINMENT {
+            assert!(
+                run_at(module, "std::thread::spawn(|| {}); let m = Mutex::new(0);").is_empty(),
+                "{module}"
+            );
+        }
+        // Non-containment ss-pipeline files stay covered.
+        assert_eq!(
+            run_at("crates/ss-pipeline/src/lib.rs", "let m = Mutex::new(0);").len(),
+            1
+        );
     }
 
     #[test]

@@ -25,8 +25,11 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/ss-core/src/codec.rs",
     "crates/ss-core/src/checked.rs",
     "crates/ss-core/src/index.rs",
+    "crates/ss-core/src/session.rs",
     "crates/ss-core/src/decompressor.rs",
     "crates/ss-core/src/detector.rs",
+    "crates/ss-pipeline/src/engine.rs",
+    "crates/ss-pipeline/src/queue.rs",
     "crates/ss-sim/src/sim.rs",
     "crates/ss-sim/src/sip.rs",
     "crates/ss-sim/src/tile.rs",

@@ -9,6 +9,7 @@ use std::fmt;
 
 /// An error from the cycle simulators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// A tensor's element count does not match the convolution geometry
     /// it was scheduled against.

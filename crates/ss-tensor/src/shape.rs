@@ -62,6 +62,16 @@ impl Shape {
     pub fn innermost(&self) -> usize {
         self.dims.last().copied().unwrap_or(1)
     }
+
+    /// Reshapes in place to a flat 1-D shape of `len` elements, reusing
+    /// the dimension buffer (allocation-free once the shape has rank ≥ 1).
+    ///
+    /// This is the reuse hook behind `Tensor::replace_flat` and, through
+    /// it, `ss-core`'s buffer-recycling `CodecSession::decode_into`.
+    pub fn make_flat(&mut self, len: usize) {
+        self.dims.clear();
+        self.dims.push(len);
+    }
 }
 
 impl fmt::Display for Shape {
@@ -111,6 +121,17 @@ mod tests {
     fn display() {
         assert_eq!(Shape::new(vec![1, 64, 56, 56]).to_string(), "[1x64x56x56]");
         assert_eq!(Shape::new(vec![]).to_string(), "[]");
+    }
+
+    #[test]
+    fn make_flat_reuses_the_dims_buffer() {
+        let mut s = Shape::new(vec![2, 3, 4]);
+        s.make_flat(24);
+        assert_eq!(s, Shape::flat(24));
+        // Scalar shapes grow to rank 1.
+        let mut scalar = Shape::new(vec![]);
+        scalar.make_flat(1);
+        assert_eq!(scalar, Shape::flat(1));
     }
 
     #[test]

@@ -168,6 +168,39 @@ impl Tensor {
     pub fn into_values(self) -> Vec<i32> {
         self.data
     }
+
+    /// Replaces the tensor's contents in place from a flat value buffer,
+    /// returning the previous buffer for reuse.
+    ///
+    /// The shape becomes `flat(values.len())` (the dimension buffer is
+    /// reused, not reallocated) and every incoming value is validated
+    /// against `dtype`, so the container invariant holds exactly as it
+    /// does for [`Tensor::from_vec`]. A decode loop that swaps buffers
+    /// through this method — as `ss-core`'s `CodecSession::decode_into`
+    /// does — touches the heap zero times per tensor at steady state.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::ValueOutOfRange`] if any value does not fit `dtype`;
+    /// the tensor is unchanged (the new buffer is dropped).
+    pub fn replace_flat(
+        &mut self,
+        dtype: FixedType,
+        values: Vec<i32>,
+    ) -> Result<Vec<i32>, TensorError> {
+        for (index, &value) in values.iter().enumerate() {
+            if !dtype.contains(value) {
+                return Err(TensorError::ValueOutOfRange {
+                    index,
+                    value,
+                    dtype,
+                });
+            }
+        }
+        self.shape.make_flat(values.len());
+        self.dtype = dtype;
+        Ok(std::mem::replace(&mut self.data, values))
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +266,24 @@ mod tests {
         let t = t(vec![1, 2]);
         assert!(t.groups(0).is_err());
         assert_eq!(t.groups(1).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn replace_flat_swaps_buffers_and_validates() {
+        let mut t = Tensor::from_vec(Shape::new(vec![2, 2]), FixedType::I16, vec![1, 2, 3, 4])
+            .unwrap();
+        let old = t.replace_flat(FixedType::U8, vec![0, 200, 7]).unwrap();
+        assert_eq!(old, vec![1, 2, 3, 4]);
+        assert_eq!(t.shape(), &Shape::flat(3));
+        assert_eq!(t.dtype(), FixedType::U8);
+        assert_eq!(t.values(), &[0, 200, 7]);
+        // Equal to the from_vec construction of the same tensor.
+        let fresh = Tensor::from_vec(Shape::flat(3), FixedType::U8, vec![0, 200, 7]).unwrap();
+        assert_eq!(t, fresh);
+        // Out-of-range values are rejected and the tensor is unchanged.
+        let err = t.replace_flat(FixedType::U8, vec![300]);
+        assert!(matches!(err, Err(TensorError::ValueOutOfRange { .. })));
+        assert_eq!(t, fresh);
     }
 
     #[test]

@@ -109,6 +109,19 @@ metric_enum! {
         TraceLayersDropped => "trace_layers_dropped",
         /// Span events dropped because the trace buffer was full.
         TraceSpansDropped => "trace_spans_dropped",
+        /// Batches processed by the `ss-pipeline` engine.
+        PipelineBatches => "pipeline_batches",
+        /// Tensors completed by `ss-pipeline` workers.
+        PipelineTensors => "pipeline_tensors",
+        /// Peak submission-queue depth observed, summed over batches
+        /// (divide by `pipeline_batches` for the mean high-water mark).
+        PipelineQueueHighWater => "pipeline_queue_high_water",
+        /// Nanoseconds `ss-pipeline` workers spent inside encode.
+        PipelineEncodeBusyNanos => "pipeline_encode_busy_nanos",
+        /// Nanoseconds `ss-pipeline` workers spent inside measure.
+        PipelineMeasureBusyNanos => "pipeline_measure_busy_nanos",
+        /// Nanoseconds `ss-pipeline` workers spent inside decode.
+        PipelineDecodeBusyNanos => "pipeline_decode_busy_nanos",
     }
 }
 

@@ -35,4 +35,29 @@ echo "== ss-trace overhead gate (NoopRecorder must be free) =="
 cargo run --release -q -p ss-bench --bin perf_baseline -- --overhead-gate
 
 echo
+echo "== BENCH_pipeline determinism gate (two runs, identical bytes) =="
+# The deterministic half of the pipeline bench must be byte-identical
+# across runs: same batch accounting, same chained stream hash, gates
+# PASS both times. Any diff means worker scheduling leaked into results.
+tmp1="$(mktemp)" tmp2="$(mktemp)"
+trap 'rm -f "$tmp1" "$tmp2"' EXIT
+SS_BENCH_PIPELINE_OUT="$tmp1" \
+    cargo run --release -q -p ss-bench --bin pipeline_throughput -- --smoke >/dev/null
+SS_BENCH_PIPELINE_OUT="$tmp2" \
+    cargo run --release -q -p ss-bench --bin pipeline_throughput -- --smoke >/dev/null
+if ! diff -u "$tmp1" "$tmp2"; then
+    echo "FAIL: BENCH_pipeline deterministic fields differ between runs" >&2
+    exit 1
+fi
+grep -q '"bit_identical_to_one_shot": true' "$tmp1" || {
+    echo "FAIL: pipeline output is not bit-identical to the one-shot API" >&2
+    exit 1
+}
+grep -q '"identical_across_worker_counts": true' "$tmp1" || {
+    echo "FAIL: pipeline results vary with the worker count" >&2
+    exit 1
+}
+echo "ok: deterministic fields reproduce byte-for-byte"
+
+echo
 echo "analysis gate: all checks passed"

@@ -12,6 +12,17 @@ cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
 cargo run --release -q -p ss-lint
 
+# Deprecated-API wall: the workspace must build with deprecation warnings
+# hardened into errors. The `#[deprecated]` shims themselves (old
+# `*_with_threads` names, `MeasureReport::into_tuple`) may only be
+# *defined* in ss-core — any call site that still uses one fails here.
+# A dedicated target dir keeps the flag change from thrashing the main
+# build cache.
+echo
+echo "== deprecated-API wall (shims may only live in ss-core) =="
+CARGO_TARGET_DIR=target/deprecated-check RUSTFLAGS="-D deprecated" \
+    cargo check -q --workspace --all-targets
+
 # Container conformance: golden vectors (v1 + v2 pinned streams), the
 # indexed-vs-sequential differential property suite, and the corruption
 # fuzzers. All run above as part of the workspace tests; re-run here by
@@ -25,6 +36,12 @@ cargo test -q -p ss-core --test golden_vectors --test codec_properties --test co
 echo
 echo "== overhead gates =="
 cargo run --release -q -p ss-bench --bin perf_baseline -- --overhead-gate
+
+# Batch-engine smoke: full encode/measure/decode pipeline on a small
+# batch; fails on a bit-identity or worker-count-determinism violation.
+echo
+echo "== pipeline smoke (bit-identity + determinism gates) =="
+cargo run --release -q -p ss-bench --bin pipeline_throughput -- --smoke
 
 echo
 echo "== perf baseline (informational) =="

@@ -81,6 +81,7 @@ pub mod container;
 pub use ss_bitio as bitio;
 pub use ss_core as core;
 pub use ss_models as models;
+pub use ss_pipeline as pipeline;
 pub use ss_quant as quant;
 pub use ss_sim as sim;
 pub use ss_tensor as tensor;
@@ -90,8 +91,12 @@ pub mod prelude {
     pub use ss_core::scheme::{
         Base, CompressionScheme, ProfileScheme, SchemeCtx, ShapeShifterScheme, ZeroRle,
     };
-    pub use ss_core::{EncodedTensor, ShapeShifterCodec, WidthDetector};
+    pub use ss_core::{
+        CodecConfig, CodecError, CodecSession, EncodedTensor, ExecPolicy, MeasureReport,
+        ShapeShifterCodec, WidthDetector,
+    };
     pub use ss_models::{zoo, LayerStats, Network, ValueGen};
+    pub use ss_pipeline::{BatchReport, Pipeline, PipelineConfig, PipelineError};
     pub use ss_quant::{QuantMethod, QuantizedNetwork, RangeAwareQuantizer, TfQuantizer};
     pub use ss_sim::accel::{BitFusion, DaDianNao, Loom, SStripes, Scnn, Stripes};
     pub use ss_sim::sim::{simulate, RunResult, SimConfig};

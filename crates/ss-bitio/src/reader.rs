@@ -232,6 +232,58 @@ impl<'a> BitReader<'a> {
         Ok(self.read_bits(1)? != 0)
     }
 
+    /// Reads `out.len()` consecutive fields of `bits` bits each —
+    /// bit-identical to calling [`BitReader::read_bits`] once per field,
+    /// but each field is extracted with one unaligned 64-bit load, a shift
+    /// and a mask instead of the per-byte loop. This is the decoder's
+    /// payload hot path: a group's non-zero values all share the same
+    /// width `P`.
+    ///
+    /// Widths above 57 bits cannot be covered by a single load at every
+    /// sub-byte offset and fall back to the scalar path (the codec's
+    /// fields are at most 17 bits wide).
+    ///
+    /// # Errors
+    ///
+    /// * [`BitIoError::FieldTooWide`] if `bits > 64`.
+    /// * [`BitIoError::UnexpectedEnd`] if fewer than `bits * out.len()`
+    ///   bits remain. The position is unchanged on error.
+    pub fn read_fields(&mut self, bits: u32, out: &mut [u64]) -> Result<(), BitIoError> {
+        if bits > MAX_FIELD_BITS {
+            return Err(BitIoError::FieldTooWide { bits });
+        }
+        let total = u64::from(bits) * out.len() as u64;
+        if total > self.remaining_bits() {
+            return Err(BitIoError::UnexpectedEnd {
+                // ss-lint: allow(truncating-cast) -- clamped to u32::MAX on the same line
+                requested: total.min(u64::from(u32::MAX)) as u32,
+                available: self.remaining_bits(),
+            });
+        }
+        if bits == 0 {
+            out.fill(0);
+            return Ok(());
+        }
+        if bits > 57 {
+            for slot in out.iter_mut() {
+                *slot = self.read_bits(bits)?;
+            }
+            return Ok(());
+        }
+        // `bits <= 57` and the sub-byte offset is at most 7, so every field
+        // fits entirely inside one 8-byte window starting at its byte.
+        let mask = (1u64 << bits) - 1;
+        let mut pos = self.pos;
+        for slot in out.iter_mut() {
+            let byte = (pos / 8) as usize;
+            let off = (pos % 8) as u32;
+            *slot = (load_le8(self.bytes, byte) >> off) & mask;
+            pos += u64::from(bits);
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
     /// Advances past `count` bits without decoding them.
     ///
     /// # Errors
@@ -265,6 +317,25 @@ impl<'a> BitReader<'a> {
             self.skip_bits(align - rem)?;
         }
         Ok(())
+    }
+}
+
+/// Loads up to 8 bytes starting at `idx` as a little-endian word,
+/// zero-padding past the end of the slice. The padding can never reach a
+/// caller's field: `read_fields` bounds every field by the stream length
+/// before loading.
+#[inline]
+fn load_le8(bytes: &[u8], idx: usize) -> u64 {
+    match bytes.get(idx..idx.saturating_add(8)) {
+        Some(s) => <[u8; 8]>::try_from(s).map_or(0, u64::from_le_bytes),
+        None => {
+            let mut word = 0u64;
+            for (i, &b) in bytes.iter().skip(idx).take(8).enumerate() {
+                // `i < 8`, so the shift is in range.
+                word |= u64::from(b) << (8 * i as u32);
+            }
+            word
+        }
     }
 }
 
@@ -433,5 +504,87 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         assert_eq!(r.read_bits(0).unwrap(), 0);
         assert_eq!(r.position(), 0);
+    }
+
+    #[test]
+    fn read_fields_matches_read_bits_at_every_phase_and_width() {
+        // A stream long enough that fields at the widest width still fit.
+        let mut w = BitWriter::new();
+        for i in 0..40u64 {
+            w.write_bits(0x9E37_79B9_7F4A_7C15u64.rotate_left((i * 13) as u32), 64)
+                .unwrap();
+        }
+        let bytes = w.into_bytes();
+        for phase in [0u64, 1, 3, 7] {
+            for bits in [1u32, 2, 5, 8, 13, 16, 17, 31, 57, 58, 63, 64] {
+                let mut scalar = BitReader::new(&bytes);
+                scalar.skip_bits(phase).unwrap();
+                let want: Vec<u64> = (0..9).map(|_| scalar.read_bits(bits).unwrap()).collect();
+
+                let mut bulk = BitReader::new(&bytes);
+                bulk.skip_bits(phase).unwrap();
+                let mut got = [0u64; 9];
+                bulk.read_fields(bits, &mut got).unwrap();
+                assert_eq!(got.as_slice(), want, "phase {phase}, width {bits}");
+                assert_eq!(bulk.position(), scalar.position());
+            }
+        }
+    }
+
+    #[test]
+    fn read_fields_near_end_of_buffer() {
+        // The last field ends on the very last valid bit, exercising the
+        // zero-padded tail load.
+        let bytes = [0xA5u8, 0x5A, 0xC3];
+        let mut scalar = BitReader::new(&bytes);
+        let want: Vec<u64> = (0..3).map(|_| scalar.read_bits(8).unwrap()).collect();
+        let mut bulk = BitReader::new(&bytes);
+        let mut got = [0u64; 3];
+        bulk.read_fields(8, &mut got).unwrap();
+        assert_eq!(got.as_slice(), want);
+        assert!(bulk.is_at_end());
+    }
+
+    #[test]
+    fn read_fields_checks_total_up_front() {
+        let bytes = [0xFFu8; 2];
+        let mut r = BitReader::new(&bytes);
+        let mut out = [0u64; 3];
+        assert_eq!(
+            r.read_fields(7, &mut out),
+            Err(BitIoError::UnexpectedEnd {
+                requested: 21,
+                available: 16
+            })
+        );
+        assert_eq!(r.position(), 0, "failed bulk read must not move");
+        // Zero-width fields consume nothing and zero the output.
+        let mut out = [7u64; 2];
+        r.read_fields(0, &mut out).unwrap();
+        assert_eq!(out, [0, 0]);
+        assert_eq!(r.position(), 0);
+        assert_eq!(
+            r.read_fields(65, &mut out),
+            Err(BitIoError::FieldTooWide { bits: 65 })
+        );
+    }
+
+    #[test]
+    fn read_fields_respects_range_windows() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3).unwrap();
+        w.write_bits(0xAB, 8).unwrap();
+        w.write_bits(0xCD, 8).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::with_bit_range(&bytes, 3, 19).unwrap();
+        let mut out = [0u64; 2];
+        r.read_fields(8, &mut out).unwrap();
+        assert_eq!(out, [0xAB, 0xCD]);
+        assert!(r.is_at_end());
+        // One more field would cross the window's end.
+        let mut r = BitReader::with_bit_range(&bytes, 3, 18).unwrap();
+        let mut out = [0u64; 2];
+        assert!(r.read_fields(8, &mut out).is_err());
+        assert_eq!(r.position(), 3);
     }
 }

@@ -127,6 +127,143 @@ impl BitWriter {
         self.write_bits(u64::from(bit), 1)
     }
 
+    /// Appends the first `bit_len` bits of `words` (LSB-first within each
+    /// word, words in order) — the bulk analogue of calling
+    /// [`BitWriter::write_bits`] once per 64-bit chunk.
+    ///
+    /// Whole words move with a single shift-carry through a 128-bit
+    /// accumulator instead of the per-byte loop, which is what the codec's
+    /// zero-bitmap words (up to 256 bits per group) want. Bits of the final
+    /// word above `bit_len` are ignored, so a packed-but-ragged buffer
+    /// (e.g. a 100-bit bitmap in two words) writes exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`BitIoError::StreamTooShort`] if `words` holds fewer than `bit_len`
+    /// bits. The writer is unchanged on error.
+    pub fn write_words(&mut self, words: &[u64], bit_len: u64) -> Result<(), BitIoError> {
+        if bit_len > words.len() as u64 * 64 {
+            return Err(BitIoError::StreamTooShort {
+                bit_len,
+                bytes: words.len() * 8,
+            });
+        }
+        if bit_len == 0 {
+            return Ok(());
+        }
+        let full = (bit_len / 64) as usize;
+        // ss-lint: allow(truncating-cast) -- remainder of % 64 fits any width
+        let tail = (bit_len % 64) as u32;
+        self.bytes.reserve((bit_len / 8) as usize + 2);
+        // Fold the current partial byte (if any) into the carry accumulator;
+        // the spill loop below re-emits it merged with the new bits.
+        let phase = (self.bit_len % 8) as u32;
+        let mut acc: u128 = if phase == 0 {
+            0
+        } else {
+            self.bytes.pop().map_or(0, u128::from)
+        };
+        let mut acc_bits = phase;
+        for &word in words.iter().take(full) {
+            // `acc_bits <= 7` here, so the merged value holds 64 + acc_bits
+            // valid bits: spill exactly the low 64 and keep the carry.
+            acc |= u128::from(word) << acc_bits;
+            // ss-lint: allow(truncating-cast) -- spilling the low 64 bits is the point
+            self.bytes.extend_from_slice(&(acc as u64).to_le_bytes());
+            acc >>= 64;
+        }
+        if tail > 0 {
+            // `tail` is in 1..=63, so the mask shift is in range.
+            let mask = (1u64 << tail) - 1;
+            let word = words.get(full).copied().unwrap_or(0) & mask;
+            acc |= u128::from(word) << acc_bits;
+            acc_bits += tail;
+        }
+        while acc_bits >= 8 {
+            // ss-lint: allow(truncating-cast) -- low-byte extraction, high bits kept in acc
+            self.bytes.push(acc as u8);
+            acc >>= 8;
+            acc_bits -= 8;
+        }
+        if acc_bits > 0 {
+            // Final partial byte: bits above `acc_bits` are zero because
+            // every merged field was masked to its width.
+            // ss-lint: allow(truncating-cast) -- fewer than 8 valid bits remain in acc
+            self.bytes.push(acc as u8);
+        }
+        self.bit_len += bit_len;
+        Ok(())
+    }
+
+    /// Appends a run of equal-width fields, LSB-first — bit-identical to
+    /// calling [`BitWriter::write_bits`] once per field, but the fields are
+    /// range-checked with one OR-fold up front and packed through a 128-bit
+    /// shift-carry accumulator that spills whole words, replacing the
+    /// per-field per-byte loop. This is the encoder's payload hot path: a
+    /// group's non-zero values all share the same width `P`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BitIoError::FieldTooWide`] if `bits > 64`.
+    /// * [`BitIoError::ValueOutOfRange`] if any field has set bits above
+    ///   position `bits - 1` (reporting the first offending field).
+    ///
+    /// The writer is unchanged on error.
+    pub fn pack_fields(&mut self, fields: &[u64], bits: u32) -> Result<(), BitIoError> {
+        if bits > MAX_FIELD_BITS {
+            return Err(BitIoError::FieldTooWide { bits });
+        }
+        if bits < 64 {
+            // One fold instead of a branch per field; the scan for the
+            // offending value only runs on the error path.
+            let or = fields.iter().fold(0u64, |a, &f| a | f);
+            if or >> bits != 0 {
+                let value = fields
+                    .iter()
+                    .copied()
+                    .find(|&f| f >> bits != 0)
+                    .unwrap_or(or);
+                return Err(BitIoError::ValueOutOfRange { value, bits });
+            }
+        }
+        if bits == 0 || fields.is_empty() {
+            return Ok(());
+        }
+        let total = u64::from(bits) * fields.len() as u64;
+        self.bytes.reserve((total / 8) as usize + 2);
+        let phase = (self.bit_len % 8) as u32;
+        let mut acc: u128 = if phase == 0 {
+            0
+        } else {
+            self.bytes.pop().map_or(0, u128::from)
+        };
+        let mut acc_bits = phase;
+        for &f in fields {
+            // `acc_bits < 64` at every loop entry (the spill keeps it
+            // below 64), so the shift is in range and nothing is lost.
+            acc |= u128::from(f) << acc_bits;
+            acc_bits += bits;
+            if acc_bits >= 64 {
+                // ss-lint: allow(truncating-cast) -- spilling the low 64 bits is the point
+                self.bytes.extend_from_slice(&(acc as u64).to_le_bytes());
+                acc >>= 64;
+                acc_bits -= 64;
+            }
+        }
+        while acc_bits >= 8 {
+            // ss-lint: allow(truncating-cast) -- low-byte extraction, high bits kept in acc
+            self.bytes.push(acc as u8);
+            acc >>= 8;
+            acc_bits -= 8;
+        }
+        if acc_bits > 0 {
+            // ss-lint: allow(truncating-cast) -- fewer than 8 valid bits remain in acc
+            self.bytes.push(acc as u8);
+        }
+        self.bit_len += total;
+        Ok(())
+    }
+
     /// Appends `count` zero bits (used for container padding).
     ///
     /// # Errors
@@ -488,5 +625,137 @@ mod tests {
         }
         assert_eq!(w.bit_len(), 4);
         assert_eq!(w.into_bytes(), vec![0b1101]);
+    }
+
+    /// Seeds a writer with `phase` bits so the bulk write starts mid-byte.
+    fn seed_phase(w: &mut BitWriter, phase: u32) {
+        if phase > 0 {
+            w.write_bits(0x55 & ((1 << phase) - 1), phase).unwrap();
+        }
+    }
+
+    /// Oracle: `write_words` must match a word-at-a-time `write_bits` loop.
+    fn words_oracle(prefix_bits: u32, words: &[u64], bit_len: u64) -> BitWriter {
+        let mut w = BitWriter::new();
+        seed_phase(&mut w, prefix_bits);
+        let mut left = bit_len;
+        for &word in words {
+            if left == 0 {
+                break;
+            }
+            let take = left.min(64) as u32;
+            let masked = if take == 64 {
+                word
+            } else {
+                word & ((1u64 << take) - 1)
+            };
+            w.write_bits(masked, take).unwrap();
+            left -= u64::from(take);
+        }
+        w
+    }
+
+    #[test]
+    fn write_words_matches_write_bits_at_every_phase() {
+        let words = [0xDEAD_BEEF_F00D_CAFEu64, 0x0123_4567_89AB_CDEF, 0x55AA];
+        for phase in 0u32..8 {
+            for bit_len in [0u64, 1, 7, 8, 63, 64, 65, 100, 128, 130, 192] {
+                let want = words_oracle(phase, &words, bit_len);
+                let mut got = BitWriter::new();
+                seed_phase(&mut got, phase);
+                got.write_words(&words, bit_len).unwrap();
+                assert_eq!(got, want, "phase {phase}, bit_len {bit_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn write_words_ignores_bits_above_bit_len() {
+        // Dirty bits above bit_len in the last word must not leak.
+        let mut w = BitWriter::new();
+        w.write_words(&[u64::MAX], 3).unwrap();
+        assert_eq!(w.bit_len(), 3);
+        assert_eq!(w.as_bytes(), &[0b111]);
+        w.write_bits(0, 5).unwrap();
+        assert_eq!(w.into_bytes(), vec![0b111]);
+    }
+
+    #[test]
+    fn write_words_rejects_short_buffers() {
+        let mut w = BitWriter::new();
+        assert_eq!(
+            w.write_words(&[0], 65),
+            Err(BitIoError::StreamTooShort { bit_len: 65, bytes: 8 })
+        );
+        assert!(w.is_empty(), "failed write must not corrupt the stream");
+    }
+
+    #[test]
+    fn pack_fields_matches_write_bits_at_every_phase_and_width() {
+        let raw: [u64; 9] = [
+            0, 1, 0x2B, 0x1FF, 0x5A5A, 0xFFFF, 0x1_0001, 0xDEAD_BEEF, u64::MAX,
+        ];
+        for phase in 0u32..8 {
+            for bits in 1u32..=17 {
+                let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+                let fields: Vec<u64> = raw.iter().map(|&f| f & mask).collect();
+                let mut want = BitWriter::new();
+                let mut got = BitWriter::new();
+                seed_phase(&mut want, phase);
+                seed_phase(&mut got, phase);
+                for &f in &fields {
+                    want.write_bits(f, bits).unwrap();
+                }
+                got.pack_fields(&fields, bits).unwrap();
+                assert_eq!(got, want, "phase {phase}, width {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_fields_wide_widths() {
+        for bits in [33u32, 57, 63, 64] {
+            let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+            let fields: Vec<u64> = (0..5u64)
+                .map(|i| (0x9E37_79B9_7F4A_7C15u64.rotate_left(i as u32 * 11)) & mask)
+                .collect();
+            let mut want = BitWriter::new();
+            for &f in &fields {
+                want.write_bits(f, bits).unwrap();
+            }
+            let mut got = BitWriter::new();
+            got.pack_fields(&fields, bits).unwrap();
+            assert_eq!(got, want, "width {bits}");
+        }
+    }
+
+    #[test]
+    fn pack_fields_validates_like_write_bits() {
+        let mut w = BitWriter::new();
+        assert_eq!(
+            w.pack_fields(&[0], 65),
+            Err(BitIoError::FieldTooWide { bits: 65 })
+        );
+        assert_eq!(
+            w.pack_fields(&[1, 4, 2], 2),
+            Err(BitIoError::ValueOutOfRange { value: 4, bits: 2 })
+        );
+        // Zero-width run: a no-op iff every field is zero.
+        w.pack_fields(&[0, 0], 0).unwrap();
+        assert!(w.is_empty());
+        assert_eq!(
+            w.pack_fields(&[0, 3], 0),
+            Err(BitIoError::ValueOutOfRange { value: 3, bits: 0 })
+        );
+        assert!(w.is_empty(), "failed pack must not corrupt the stream");
+    }
+
+    #[test]
+    fn pack_fields_empty_run_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3).unwrap();
+        let before = w.clone();
+        w.pack_fields(&[], 13).unwrap();
+        assert_eq!(w, before);
     }
 }

@@ -33,6 +33,11 @@ pub struct WidthDistribution {
 impl WidthDistribution {
     /// Measures the per-group width distribution of a tensor.
     ///
+    /// Each group's width comes from the u64-lane OR-fold
+    /// (`width::group_width`) — the same word-parallel detector the
+    /// codec's hot path uses — so sweeping the §2 figures over whole
+    /// networks costs one streaming pass per granularity.
+    ///
     /// # Panics
     ///
     /// Panics if `group_size == 0`.

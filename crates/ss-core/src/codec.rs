@@ -5,7 +5,9 @@ use ss_tensor::{width, FixedType, Shape, Signedness, Tensor};
 use ss_trace::{Counter, WidthCounts, WidthHist};
 
 use crate::index::{ChunkEntry, ChunkIndex};
-use crate::{checked, par, CodecConfig, CodecError, ExecPolicy, MeasureReport, WidthDetector};
+use crate::{
+    checked, kernels, par, CodecConfig, CodecError, ExecPolicy, MeasureReport, WidthDetector,
+};
 
 /// Below this many values the automatic paths stay sequential: spawning and
 /// splicing costs more than the encode itself on small tensors.
@@ -443,6 +445,15 @@ impl ShapeShifterCodec {
     /// shared by [`ShapeShifterCodec::encode_chunk`] and the
     /// buffer-reusing `CodecSession`, so session output is bit-identical
     /// to the one-shot API by construction.
+    ///
+    /// The loop runs on the word-parallel [`kernels`]: one fused
+    /// [`kernels::scan_gather`] pass per group yields the zero bit-vector
+    /// as whole `u64` words (streamed out via `BitWriter::write_words`),
+    /// the OR-folded group width, *and* the compacted non-zero payloads,
+    /// which are packed as an equal-width field run via
+    /// `BitWriter::pack_fields` — each value is loaded once and no bit is
+    /// pushed individually. The retired per-value loop survives as the
+    /// differential oracle in the `kernel_differential` suite.
     pub(crate) fn encode_groups_into(
         &self,
         values: &[i32],
@@ -451,7 +462,7 @@ impl ShapeShifterCodec {
     ) -> Result<(usize, u64, u64), CodecError> {
         let det = WidthDetector::new(dtype.bits(), dtype.signedness());
         let prefix_bits = u32::from(det.prefix_bits());
-        let signed = matches!(dtype.signedness(), Signedness::Signed);
+        let signedness = dtype.signedness();
         let mut groups = 0usize;
         let mut metadata_bits = 0u64;
         let mut payload_bits = 0u64;
@@ -461,38 +472,26 @@ impl ShapeShifterCodec {
         let tracing = rec.enabled();
         let mut group_widths = WidthCounts::new();
         let mut zeros_elided = 0u64;
+        let mut fields = [0u64; kernels::MAX_GROUP];
 
         for group in values.chunks(self.group_size) {
             groups += 1;
-            // Z vector: 1 marks a zero value (written in 64-bit chunks so
-            // group sizes up to 256 are supported).
-            for chunk in group.chunks(64) {
-                let mut z = 0u64;
-                for (i, &v) in chunk.iter().enumerate() {
-                    if v == 0 {
-                        z |= 1 << i;
-                    }
-                }
-                if tracing {
-                    zeros_elided += u64::from(z.count_ones());
-                }
-                w.write_bits(z, chunk.len() as u32)?;
-            }
-            let p = det.detect(group);
+            let (scan, n) = kernels::scan_gather(group, signedness, &mut fields);
+            // Z vector: 1 marks a zero value, emitted as whole 64-bit
+            // words (group sizes up to 256 are supported).
+            w.write_words(&scan.z, group.len() as u64)?;
+            let p = scan.width();
             if tracing {
+                zeros_elided += u64::from(scan.zero_count());
                 group_widths.observe(p, 1);
             }
-            w.write_bits(u64::from(det.detect_encoded(group)), prefix_bits)?;
+            w.write_bits(u64::from(scan.encoded_width()), prefix_bits)?;
             metadata_bits += group.len() as u64 + u64::from(prefix_bits);
-            for &v in group.iter().filter(|&&v| v != 0) {
-                let enc = if signed {
-                    u64::from(width::to_sign_magnitude(v))
-                } else {
-                    v as u64
-                };
-                w.write_bits(enc, u32::from(p))?;
-                payload_bits += u64::from(p);
-            }
+            // `n <= group.len() <= MAX_GROUP` by construction, so the
+            // slice always exists; the fallback is unreachable.
+            let run = fields.get(..n).unwrap_or(&[]);
+            w.pack_fields(run, u32::from(p))?;
+            payload_bits += u64::from(p) * run.len() as u64;
         }
         if tracing {
             rec.record_widths(WidthHist::CodecGroupWidth, &group_widths);
@@ -563,7 +562,11 @@ impl ShapeShifterCodec {
         }
     }
 
-    /// Sequential measurement of one group-aligned slice.
+    /// Sequential measurement of one group-aligned slice, on the same
+    /// fused [`kernels::scan_group`] pass as the encoder: the group width
+    /// comes from one lane fold and the non-zero count from the zero
+    /// bitmap's popcount, so measuring costs one streaming read of the
+    /// values — no per-value compare-and-max, no second zero-count scan.
     fn measure_chunk(&self, values: &[i32], dtype: FixedType) -> (u64, u64, usize) {
         let signedness = dtype.signedness();
         let det = WidthDetector::new(dtype.bits(), signedness);
@@ -577,12 +580,12 @@ impl ShapeShifterCodec {
         for group in values.chunks(self.group_size) {
             groups += 1;
             metadata += group.len() as u64 + prefix_bits;
-            let w = u64::from(width::group_width(group, signedness));
+            let scan = kernels::scan_group(group, signedness);
             if tracing {
-                // ss-lint: allow(truncating-cast) -- group width <= container bits <= 32
-                group_widths.observe(w as u8, 1);
+                group_widths.observe(scan.width(), 1);
             }
-            payload += w * group.iter().filter(|&&v| v != 0).count() as u64;
+            payload += u64::from(scan.width())
+                * (group.len() as u64 - u64::from(scan.zero_count()));
         }
         if tracing {
             rec.record_widths(WidthHist::CodecGroupWidth, &group_widths);
@@ -874,6 +877,13 @@ impl ShapeShifterCodec {
     /// `data` — the group-parse body shared by the sequential parse and
     /// every indexed-chunk worker. `group_base` / `value_base` seed error
     /// positions so chunk-local parses report stream-global indices.
+    ///
+    /// Payloads are read in bulk: the zero bitmap's popcount gives the
+    /// exact number of equal-width fields in the group, which
+    /// `BitReader::read_fields` extracts with one unaligned load each
+    /// instead of a per-field byte loop; the scatter pass then interleaves
+    /// them with the elided zeros, validating each value in stream order
+    /// so error indices are unchanged from the scalar parse.
     #[allow(clippy::too_many_arguments)]
     fn decode_groups(
         &self,
@@ -893,11 +903,19 @@ impl ShapeShifterCodec {
         // Z vector as packed 64-bit words (group_size <= 256 -> 4 words),
         // read straight off the stream with no per-bit buffer traffic.
         let mut zwords = [0u64; 4];
+        let mut fields = [0u64; kernels::MAX_GROUP];
         while data.len() - start_len < count {
             let group_len = (count - (data.len() - start_len)).min(self.group_size);
+            // Only the words covering `group_len` are overwritten; zero
+            // counting below must therefore walk the same active range
+            // (stale words from a longer previous group may follow).
+            let mut zeros = 0usize;
             for (word, start) in zwords.iter_mut().zip((0..group_len).step_by(64)) {
                 let take = (group_len - start).min(64);
                 *word = r.read_bits(take as u32)?;
+                // read_bits returns clean high bits, so whole-word
+                // popcounts only ever see in-range zero markers.
+                zeros += word.count_ones() as usize;
             }
             // The P field stores width-1 in at most 5 bits.
             // ss-lint: allow(truncating-cast) -- prefix field is <= 5 bits wide, value <= 31
@@ -909,7 +927,12 @@ impl ShapeShifterCodec {
                     container: dtype.bits(),
                 });
             }
-            let mut payloads = 0usize;
+            // Bulk-extract every payload field in the group at once; the
+            // per-value work below is only scatter + validation.
+            let payloads = group_len - zeros.min(group_len);
+            let slots = fields.get_mut(..payloads).unwrap_or(&mut []);
+            r.read_fields(u32::from(p), slots)?;
+            let mut next = slots.iter();
             for (word_idx, word) in zwords.iter().enumerate() {
                 let start = word_idx * 64;
                 if start >= group_len {
@@ -920,7 +943,10 @@ impl ShapeShifterCodec {
                     if word >> bit & 1 == 1 {
                         data.push(0);
                     } else {
-                        let raw = r.read_bits(u32::from(p))?;
+                        // The popcount above sized `slots` to the exact
+                        // number of clear bits, so the iterator cannot
+                        // run dry.
+                        let raw = next.next().copied().unwrap_or(0);
                         let v = if signed {
                             width::from_sign_magnitude(raw as u32)
                         } else {
@@ -942,7 +968,6 @@ impl ShapeShifterCodec {
                             value_base + (data.len() - start_len),
                         );
                         data.push(v);
-                        payloads += 1;
                     }
                 }
             }

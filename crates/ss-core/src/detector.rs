@@ -63,26 +63,19 @@ impl WidthDetector {
     /// trees in Figure 5c, after sign-magnitude conversion.
     ///
     /// Bit `i` of the result is 1 iff any group member has bit `i` set in
-    /// its (sign-magnitude) encoding.
+    /// its (sign-magnitude) encoding. Zeros contribute no sign bit: the
+    /// codec elides them entirely, so they must not force a 1 into
+    /// position 0 (the word-parallel kernel encodes zero as 0 in both
+    /// signedness modes).
+    ///
+    /// Computed u64-at-a-time by [`width::group_or`] — two 32-bit lane
+    /// encodings ORed per machine word, folded once at the end — rather
+    /// than a per-value scalar loop; the scalar arithmetic definition is
+    /// pinned against it in this module's tests and the
+    /// `kernel_differential` suite.
     #[must_use]
     pub fn or_signals(&self, group: &[i32]) -> u32 {
-        let mut or = 0u32;
-        for &v in group {
-            let enc = match self.signedness {
-                Signedness::Unsigned => v as u32,
-                Signedness::Signed => {
-                    // Zeros contribute no sign bit: the codec elides them
-                    // entirely, so they must not force a 1 into position 0.
-                    if v == 0 {
-                        0
-                    } else {
-                        width::to_sign_magnitude(v)
-                    }
-                }
-            };
-            or |= enc;
-        }
-        or
+        width::group_or(group, self.signedness)
     }
 
     /// The detected width: position of the leading 1 across the OR

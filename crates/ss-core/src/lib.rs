@@ -58,6 +58,7 @@ pub mod decompressor;
 mod detector;
 mod error;
 pub mod index;
+pub mod kernels;
 pub mod par;
 pub mod scheme;
 mod session;

@@ -63,6 +63,27 @@ impl DeltaShapeShifter {
         group.windows(2).map(|w| w[1] - w[0]).collect()
     }
 
+    /// Fused accounting scan of one group's deltas: the OR-fold of their
+    /// sign-magnitude encodings (whose leading 1 gives the shared delta
+    /// width, exactly as the Figure 5c detector would) and the non-zero
+    /// delta count, in one pass with no materialized delta buffer —
+    /// [`DeltaShapeShifter::compressed_bits`] runs this over
+    /// multi-million-value layers. Zero deltas encode to 0 and so never
+    /// assert the sign wire, matching the encoder's Z elision.
+    fn delta_scan(group: &[i32]) -> (u8, u64) {
+        let mut or = 0u32;
+        let mut nonzero = 0u64;
+        for w in group.windows(2) {
+            if let [a, b] = *w {
+                let d = b - a;
+                or |= width::to_sign_magnitude(d);
+                nonzero += u64::from(d != 0);
+            }
+        }
+        // ss-lint: allow(truncating-cast) -- 32 - leading_zeros of a u32 is in 0..=32
+        ((32 - or.leading_zeros()) as u8, nonzero)
+    }
+
     /// Encodes a tensor into a delta stream.
     ///
     /// # Errors
@@ -189,11 +210,12 @@ impl CompressionScheme for DeltaShapeShifter {
         let container = u64::from(tensor.dtype().bits()) + 1;
         let mut bits = 0u64;
         for group in tensor.values().chunks(self.group_size) {
-            let deltas = Self::deltas(group);
-            let p = u64::from(width::group_width(&deltas, ss_tensor::Signedness::Signed).max(1));
-            let nonzero = deltas.iter().filter(|&&d| d != 0).count() as u64;
+            let (p, nonzero) = Self::delta_scan(group);
             let first = if group[0] != 0 { container } else { 0 };
-            bits += group.len() as u64 + first + prefix_bits + p * nonzero;
+            bits += group.len() as u64
+                + first
+                + prefix_bits
+                + u64::from(p.max(1)) * nonzero;
         }
         bits
     }

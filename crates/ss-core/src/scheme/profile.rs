@@ -12,7 +12,9 @@ use crate::scheme::{CompressionScheme, SchemeCtx};
 /// Losslessness guard: if the tensor at hand contains a value wider than
 /// the profile predicted (possible with any finite calibration set), the
 /// stored width grows to cover it — the same provisioning a deployed
-/// Proteus-style design must make.
+/// Proteus-style design must make. The guard's layer-wide width scan
+/// (`Tensor::profiled_width`) is the same u64-lane OR-fold the codec's
+/// group detector uses, just at layer granularity.
 ///
 /// Per-layer metadata (the chosen width) is a constant handful of bits and
 /// is included.

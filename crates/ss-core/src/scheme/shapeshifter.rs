@@ -13,7 +13,10 @@ use crate::{ShapeShifterCodec, WidthDetector};
 /// Requires no profile — widths are detected statically for weights at
 /// pack time and dynamically for activations by the Figure 5c hardware —
 /// which is why the paper can apply it to the non-profiled networks of
-/// Figure 8b unchanged.
+/// Figure 8b unchanged. The accounting runs on
+/// [`ShapeShifterCodec::measure`], whose group scan is the word-parallel
+/// [`crate::kernels`] pass, so pricing a multi-million-value layer costs
+/// one streaming read.
 ///
 /// A one-byte **per-array bypass flag** keeps the paper's robustness
 /// guarantee ("ShapeShifter compression is robust and never increases

@@ -3,6 +3,7 @@
 
 use ss_tensor::{Tensor, TensorStats};
 
+use crate::kernels;
 use crate::scheme::{CompressionScheme, SchemeCtx};
 
 /// Zero run-length encoding: the stream is a sequence of
@@ -42,8 +43,52 @@ impl ZeroRle {
     }
 
     /// Number of `(run, value)` tokens needed for a value slice.
+    ///
+    /// Counted a bitmap word at a time: [`kernels::zero_bitmap64`] turns
+    /// 64 values into one zero mask, and each non-zero position is
+    /// visited by clearing trailing set bits — a run of `L` zeros before
+    /// a value contributes `L / (max_run + 1)` saturated `(max_run, 0)`
+    /// tokens plus the value's own token, with runs carried across word
+    /// boundaries. Equivalent to the per-value state machine retained in
+    /// [`ZeroRle::token_count_scalar`], the differential-test reference.
     #[must_use]
     pub fn token_count(&self, values: &[i32]) -> u64 {
+        // One saturated token consumes max_run zeros plus the explicit
+        // zero travelling in its value slot.
+        let span = self.max_run() + 1;
+        let mut tokens = 0u64;
+        let mut run = 0u64;
+        for chunk in values.chunks(64) {
+            let used = chunk.len() as u64;
+            let mask = if used == 64 { u64::MAX } else { (1u64 << used) - 1 };
+            let mut nz = !kernels::zero_bitmap64(chunk) & mask;
+            let mut pos = 0u64;
+            while nz != 0 {
+                let i = u64::from(nz.trailing_zeros());
+                // Positions pos..i are all zeros: the carried run ends at
+                // this value.
+                let zeros = run + (i - pos);
+                tokens += zeros / span + 1;
+                run = 0;
+                pos = i + 1;
+                nz &= nz - 1;
+            }
+            run += used - pos;
+        }
+        if run > 0 {
+            // Trailing zeros: full saturated tokens plus a terminator for
+            // the remainder.
+            tokens += run / span + u64::from(!run.is_multiple_of(span));
+        }
+        tokens
+    }
+
+    /// The per-value reference implementation of
+    /// [`ZeroRle::token_count`]: a literal transcription of the token
+    /// state machine, kept as the oracle the word-parallel counter is
+    /// differential-tested against.
+    #[must_use]
+    pub fn token_count_scalar(&self, values: &[i32]) -> u64 {
         let max_run = self.max_run();
         let mut tokens = 0u64;
         let mut run = 0u64;
@@ -156,5 +201,26 @@ mod tests {
         assert_eq!(scheme.token_count(&[0; 8]), 2);
         // 9 zeros: 2 full tokens + 1 trailing zero -> 3 tokens.
         assert_eq!(scheme.token_count(&[0; 9]), 3);
+    }
+
+    #[test]
+    fn bitmap_counter_matches_scalar_reference() {
+        // Runs that straddle 64-value bitmap words, saturate multiple
+        // times, start at position 0, and trail off the end.
+        let mut vals = vec![0i32; 70];
+        vals.push(5);
+        vals.extend_from_slice(&[1, 0, 0, 0, 0, 0, 0, 0, 2]);
+        vals.extend(vec![0i32; 130]);
+        vals.push(-3);
+        vals.extend(vec![0i32; 65]);
+        for run_bits in [1u8, 2, 5, 16] {
+            let scheme = ZeroRle::new(run_bits);
+            assert_eq!(
+                scheme.token_count(&vals),
+                scheme.token_count_scalar(&vals),
+                "run_bits {run_bits}"
+            );
+            assert_eq!(scheme.token_count(&[]), scheme.token_count_scalar(&[]));
+        }
     }
 }

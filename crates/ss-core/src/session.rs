@@ -20,7 +20,10 @@
 //! `decode_stream_into`) and cut index chunks at the same
 //! policy-determined boundaries, so identity holds by construction and is
 //! re-checked by the property suite in `tests/session_reuse.rs` and the
-//! golden-vector corpus.
+//! golden-vector corpus. That shared group loop is the word-parallel
+//! [`crate::kernels`] path — fused zero-bitmap/width scans on encode,
+//! bulk field extraction on decode — so sessions get the kernel speedups
+//! without any session-specific code.
 
 use ss_bitio::BitWriter;
 use ss_tensor::Tensor;

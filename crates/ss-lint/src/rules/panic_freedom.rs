@@ -25,6 +25,7 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/ss-core/src/codec.rs",
     "crates/ss-core/src/checked.rs",
     "crates/ss-core/src/index.rs",
+    "crates/ss-core/src/kernels.rs",
     "crates/ss-core/src/session.rs",
     "crates/ss-core/src/decompressor.rs",
     "crates/ss-core/src/detector.rs",

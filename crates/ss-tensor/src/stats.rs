@@ -16,7 +16,7 @@
 //! * zero run-length token counts for **any** run-field width;
 //! * effective width (Table 1) and group/value width CDFs (Figures 1–4).
 
-use crate::width::value_width;
+use crate::width::{group_width, value_width};
 use crate::{FixedType, Tensor};
 
 /// Width histogram bucket count: widths 0..=32 (i32 magnitude + sign).
@@ -62,8 +62,13 @@ pub struct TensorStats {
 }
 
 impl TensorStats {
-    /// Scans `tensor` once, producing statistics that cover the given
-    /// grouping granularities (duplicates and zeros are ignored).
+    /// Scans `tensor` once per statistic family: a scalar pass for the
+    /// per-value width histogram and zero runs (irreducibly per-value
+    /// work), then one streaming pass per grouping granularity in which
+    /// each group's width comes from the word-parallel OR-fold
+    /// ([`group_width`], the software Figure 5c detector) instead of a
+    /// per-value compare-and-max state machine. Duplicate and zero group
+    /// sizes are ignored.
     #[must_use]
     pub fn compute(tensor: &Tensor, group_sizes: &[usize]) -> Self {
         let values = tensor.values();
@@ -77,19 +82,6 @@ impl TensorStats {
         let mut zero_count = 0u64;
         let mut runs = std::collections::BTreeMap::<u64, u64>::new();
         let mut run = 0u64;
-        // Per-size running state: (width so far, nonzeros so far, filled).
-        let mut open: Vec<(u8, u64, usize)> = vec![(0, 0, 0); sizes.len()];
-        let mut groups: Vec<GroupStats> = sizes
-            .iter()
-            .map(|&group_size| GroupStats {
-                group_size,
-                group_count: 0,
-                group_width_hist: [0; WIDTH_BUCKETS],
-                weighted_width_bits: 0,
-                payload_bits: 0,
-            })
-            .collect();
-
         for &v in values {
             let w = value_width(v, signedness);
             value_width_hist[w as usize] += 1;
@@ -100,20 +92,26 @@ impl TensorStats {
                 *runs.entry(run).or_insert(0) += 1;
                 run = 0;
             }
-            for (state, g) in open.iter_mut().zip(&mut groups) {
-                state.0 = state.0.max(w);
-                state.1 += u64::from(v != 0);
-                state.2 += 1;
-                if state.2 == g.group_size {
-                    g.close_group(state);
+        }
+
+        let groups: Vec<GroupStats> = sizes
+            .iter()
+            .map(|&group_size| {
+                let mut g = GroupStats {
+                    group_size,
+                    group_count: 0,
+                    group_width_hist: [0; WIDTH_BUCKETS],
+                    weighted_width_bits: 0,
+                    payload_bits: 0,
+                };
+                for chunk in values.chunks(group_size) {
+                    let w = group_width(chunk, signedness);
+                    let nonzeros: u64 = chunk.iter().map(|&v| u64::from(v != 0)).sum();
+                    g.observe_group(w, chunk.len(), nonzeros);
                 }
-            }
-        }
-        for (state, g) in open.iter_mut().zip(&mut groups) {
-            if state.2 > 0 {
-                g.close_group(state);
-            }
-        }
+                g
+            })
+            .collect();
 
         Self {
             len: values.len(),
@@ -263,15 +261,12 @@ impl TensorStats {
 }
 
 impl GroupStats {
-    /// Folds one finished group into the aggregates and resets the running
-    /// state.
-    fn close_group(&mut self, state: &mut (u8, u64, usize)) {
-        let (w, nonzeros, filled) = *state;
+    /// Folds one finished group into the aggregates.
+    fn observe_group(&mut self, w: u8, filled: usize, nonzeros: u64) {
         self.group_count += 1;
         self.group_width_hist[w as usize] += 1;
         self.weighted_width_bits += u64::from(w) * filled as u64;
         self.payload_bits += u64::from(w) * nonzeros;
-        *state = (0, 0, 0);
     }
 
     /// Cumulative distribution over group widths (the Figure 1–3 curves):

@@ -68,6 +68,11 @@ fn magnitude_bits(value: i32, signedness: Signedness) -> u8 {
 /// This is the group's `P` field in the memory container (Figure 6b) and the
 /// cycle count a ShapeShifter-Stripes SIP spends on the group (§4).
 ///
+/// Implemented the way the hardware computes it (Figure 5c): OR every
+/// value's stored encoding, then run one leading-1 detector over the
+/// result — see [`group_or`]. The per-value arithmetic definition is kept
+/// as [`group_width_scalar`], the differential-test oracle.
+///
 /// # Examples
 ///
 /// ```
@@ -79,11 +84,58 @@ fn magnitude_bits(value: i32, signedness: Signedness) -> u8 {
 /// ```
 #[must_use]
 pub fn group_width(values: &[i32], signedness: Signedness) -> u8 {
+    (32 - group_or(values, signedness).leading_zeros()) as u8
+}
+
+/// The per-value arithmetic definition of [`group_width`]: the maximum
+/// [`value_width`] over the group. Retained as the scalar reference the
+/// word-parallel path is differential-tested against (`kernel_differential`
+/// in ss-core); production code wants [`group_width`].
+#[must_use]
+pub fn group_width_scalar(values: &[i32], signedness: Signedness) -> u8 {
     values
         .iter()
         .map(|&v| value_width(v, signedness))
         .max()
         .unwrap_or(0)
+}
+
+/// OR of every value's stored encoding — the software model of the
+/// paper's Figure 5c OR-tree. Bit `i` of the result is 1 iff any group
+/// member has bit `i` set in its encoding (magnitude for unsigned
+/// containers, sign-magnitude with the sign at the LSB for signed; zeros
+/// encode to 0 and assert nothing, including the sign wire).
+///
+/// Word-parallel: consecutive encodings pack into the two 32-bit lanes of
+/// a `u64`, the group ORs u64-at-a-time, and a single lane fold plus one
+/// `leading_zeros` (in [`group_width`]) replaces the per-value
+/// compare-and-max loop.
+#[must_use]
+pub fn group_or(values: &[i32], signedness: Signedness) -> u32 {
+    match signedness {
+        Signedness::Unsigned => or_lanes(values, |v| {
+            debug_assert!(v >= 0, "negative value {v} in unsigned width computation");
+            v.unsigned_abs()
+        }),
+        Signedness::Signed => or_lanes(values, to_sign_magnitude),
+    }
+}
+
+/// The u64-lane OR fold behind [`group_or`].
+#[inline]
+fn or_lanes(values: &[i32], enc: impl Fn(i32) -> u32 + Copy) -> u32 {
+    let mut lanes = 0u64;
+    let mut pairs = values.chunks_exact(2);
+    for pair in pairs.by_ref() {
+        if let [a, b] = *pair {
+            lanes |= u64::from(enc(a)) | (u64::from(enc(b)) << 32);
+        }
+    }
+    let mut or = (lanes | (lanes >> 32)) as u32;
+    for &v in pairs.remainder() {
+        or |= enc(v);
+    }
+    or
 }
 
 /// Width a whole tensor/layer needs: the per-layer profiled width. This is
@@ -201,6 +253,49 @@ mod tests {
         // max magnitude 0xf -> 4 bits.
         assert_eq!(group_width(&[3, 1, 2], Signedness::Unsigned), 2);
         assert_eq!(group_width(&[15, 1, 2], Signedness::Unsigned), 4);
+    }
+
+    #[test]
+    fn group_width_matches_scalar_reference() {
+        // Odd and even lengths exercise the lane remainder; extremes cover
+        // the full 16-bit container domain in both signedness modes.
+        let unsigned: [&[i32]; 6] = [
+            &[],
+            &[0],
+            &[1, 2, 3],
+            &[65_535, 0, 9],
+            &[5; 17],
+            &[0xFFFF, 1, 0, 0x8000],
+        ];
+        for g in unsigned {
+            assert_eq!(
+                group_width(g, Signedness::Unsigned),
+                group_width_scalar(g, Signedness::Unsigned),
+                "unsigned {g:?}"
+            );
+        }
+        let signed: [&[i32]; 5] = [
+            &[0],
+            &[0, 6, -1, 7],
+            &[-32767, 32767, 0, 1, -1],
+            &[-1; 9],
+            &[-32768, 5],
+        ];
+        for g in signed {
+            assert_eq!(
+                group_width(g, Signedness::Signed),
+                group_width_scalar(g, Signedness::Signed),
+                "signed {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_or_accumulates_encodings() {
+        assert_eq!(group_or(&[0b0001, 0b0100], Signedness::Unsigned), 0b0101);
+        assert_eq!(group_or(&[], Signedness::Unsigned), 0);
+        // -2 encodes as (2 << 1) | 1 = 0b101; zeros assert nothing.
+        assert_eq!(group_or(&[-2, 0, 0], Signedness::Signed), 0b101);
     }
 
     #[test]

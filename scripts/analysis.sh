@@ -3,8 +3,24 @@
 # fixture (each must make the linter exit non-zero — a fixture that lints
 # clean means its rule has gone blind), and the decoder corruption fuzz
 # suites that exercise the checked-decode invariants.
+#
+# With --update-timings the perf regression gate also runs: perf_baseline
+# refuses to overwrite BENCH_codec_timings.json if single-thread encode
+# or decode regressed more than 10% vs the committed file. Pass
+# --accept-perf-change alongside it to override (hardware changes,
+# accepted trade-offs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+UPDATE_TIMINGS=0
+ACCEPT_PERF_CHANGE=0
+for arg in "$@"; do
+    case "$arg" in
+        --update-timings) UPDATE_TIMINGS=1 ;;
+        --accept-perf-change) ACCEPT_PERF_CHANGE=1 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "== ss-lint: shipped workspace =="
 cargo run --release -q -p ss-lint
@@ -58,6 +74,16 @@ grep -q '"identical_across_worker_counts": true' "$tmp1" || {
     exit 1
 }
 echo "ok: deterministic fields reproduce byte-for-byte"
+
+if [ "$UPDATE_TIMINGS" = 1 ]; then
+    echo
+    echo "== perf regression gate (t1 encode/decode vs committed timings) =="
+    perf_flags=(--update-timings)
+    if [ "$ACCEPT_PERF_CHANGE" = 1 ]; then
+        perf_flags+=(--accept-perf-change)
+    fi
+    cargo run --release -q -p ss-bench --bin perf_baseline -- "${perf_flags[@]}"
+fi
 
 echo
 echo "analysis gate: all checks passed"

@@ -24,12 +24,14 @@ CARGO_TARGET_DIR=target/deprecated-check RUSTFLAGS="-D deprecated" \
     cargo check -q --workspace --all-targets
 
 # Container conformance: golden vectors (v1 + v2 pinned streams), the
-# indexed-vs-sequential differential property suite, and the corruption
-# fuzzers. All run above as part of the workspace tests; re-run here by
-# name so a conformance failure is unmissable in CI logs.
+# indexed-vs-sequential differential property suite, the corruption
+# fuzzers, and the word-parallel-kernel-vs-scalar differential suite. All
+# run above as part of the workspace tests; re-run here by name so a
+# conformance failure is unmissable in CI logs.
 echo
-echo "== container conformance (golden + differential + fuzz) =="
-cargo test -q -p ss-core --test golden_vectors --test codec_properties --test codec_fuzz
+echo "== container conformance (golden + differential + fuzz + kernels) =="
+cargo test -q -p ss-core --test golden_vectors --test codec_properties --test codec_fuzz \
+    --test kernel_differential
 
 # Deterministic gates: trace-recorder measure overhead and chunk-index
 # metadata overhead (both host-independent bounds).

@@ -79,6 +79,7 @@ impl<'a> SharedStats<'a> {
     ) -> Arc<TensorStats> {
         let rec = ss_trace::global();
         let key = (self.inner.name().to_string(), operand, layer, seed, len);
+        // ss-lint: allow(panic-freedom) -- a poisoned lock means another thread panicked mid-insert; propagating is the only sound option for a shared cache
         if let Some(hit) = cache().lock().expect("stats cache poisoned").get(&key) {
             rec.add(ss_trace::Counter::StatsCacheHits, 1);
             return hit.clone();
@@ -89,6 +90,7 @@ impl<'a> SharedStats<'a> {
         let stats = compute();
         cache()
             .lock()
+            // ss-lint: allow(panic-freedom) -- same poison-propagation argument as the lookup above
             .expect("stats cache poisoned")
             .entry(key)
             .or_insert(stats)

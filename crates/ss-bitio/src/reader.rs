@@ -331,7 +331,7 @@ fn load_le8(bytes: &[u8], idx: usize) -> u64 {
         None => {
             let mut word = 0u64;
             for (i, &b) in bytes.iter().skip(idx).take(8).enumerate() {
-                // `i < 8`, so the shift is in range.
+                // ss-lint: allow(shift-bound) -- take(8) bounds i < 8, so 8 * i <= 56 < 64
                 word |= u64::from(b) << (8 * i as u32);
             }
             word

@@ -165,8 +165,9 @@ impl BitWriter {
         };
         let mut acc_bits = phase;
         for &word in words.iter().take(full) {
-            // `acc_bits <= 7` here, so the merged value holds 64 + acc_bits
-            // valid bits: spill exactly the low 64 and keep the carry.
+            // The merged value holds 64 + acc_bits valid bits: spill
+            // exactly the low 64 and keep the carry.
+            // ss-lint: allow(shift-bound) -- acc_bits == phase <= 7 in this loop, well below the u128 width
             acc |= u128::from(word) << acc_bits;
             // ss-lint: allow(truncating-cast) -- spilling the low 64 bits is the point
             self.bytes.extend_from_slice(&(acc as u64).to_le_bytes());
@@ -176,6 +177,7 @@ impl BitWriter {
             // `tail` is in 1..=63, so the mask shift is in range.
             let mask = (1u64 << tail) - 1;
             let word = words.get(full).copied().unwrap_or(0) & mask;
+            // ss-lint: allow(shift-bound) -- acc_bits == phase <= 7 here, well below the u128 width
             acc |= u128::from(word) << acc_bits;
             acc_bits += tail;
         }
@@ -239,8 +241,7 @@ impl BitWriter {
         };
         let mut acc_bits = phase;
         for &f in fields {
-            // `acc_bits < 64` at every loop entry (the spill keeps it
-            // below 64), so the shift is in range and nothing is lost.
+            // ss-lint: allow(shift-bound) -- acc_bits < 64 at every loop entry (the spill below keeps it there), and the accumulator is 128 bits wide
             acc |= u128::from(f) << acc_bits;
             acc_bits += bits;
             if acc_bits >= 64 {
@@ -359,6 +360,7 @@ impl BitWriter {
                 if let Some(last) = self.bytes.last_mut() {
                     *last |= b << phase;
                 }
+                // ss-lint: allow(shift-bound) -- carry_shift == 8 - phase with phase in 1..=7 on this branch, so 1..=7 < 8
                 self.bytes.push(b >> carry_shift);
             }
         }

@@ -175,6 +175,7 @@ pub fn zero_bitmap64(values: &[i32]) -> u64 {
     let mut z = 0u64;
     for (i, &v) in values.iter().take(64).enumerate() {
         // ss-lint: allow(truncating-cast) -- enumerate over <= 64 items
+        // ss-lint: allow(shift-bound) -- take(64) bounds i < 64
         z |= u64::from(v == 0) << (i as u32);
     }
     z
@@ -205,12 +206,14 @@ fn scan_with(values: &[i32], enc: impl Fn(i32) -> u32 + Copy) -> GroupScan {
         for pair in &mut pairs {
             if let [a, b] = *pair {
                 lanes |= u64::from(enc(a)) | (u64::from(enc(b)) << 32);
+                // ss-lint: allow(shift-bound) -- bit advances by 2 per pair of a <= 64-item chunk, so bit <= 62 and bit + 1 <= 63
                 zw |= (u64::from(a == 0) << bit) | (u64::from(b == 0) << (bit + 1));
                 bit += 2;
             }
         }
         for &v in pairs.remainder() {
             lanes |= u64::from(enc(v));
+            // ss-lint: allow(shift-bound) -- bit < chunk.len() <= 64 when the remainder item exists, so bit <= 63
             zw |= u64::from(v == 0) << bit;
             bit += 1;
         }

@@ -29,11 +29,13 @@
 /// harness's `par_map`, so one knob controls both layers.
 #[must_use]
 pub fn thread_count() -> usize {
+    // ss-lint: allow(determinism) -- SS_THREADS is the documented thread-count knob; chunking on group boundaries keeps the stream bit-identical at any count
     std::env::var("SS_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or_else(|| {
+            // ss-lint: allow(determinism) -- parallelism only affects wall-clock, never the encoded bytes
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)

@@ -1,0 +1,25 @@
+//! Seeded violations for the `determinism` rule. Mounted at a listed
+//! serialization module, so every line is in scope regardless of the
+//! call graph. Never compiled.
+
+use std::collections::HashMap;
+
+pub fn summarize(parts: &[u64]) -> String {
+    let clock = std::time::Instant::now();
+    let mut buckets: HashMap<u64, u64> = HashMap::new();
+    for p in parts {
+        *buckets.entry(p % 4).or_insert(0) += 1;
+    }
+    let mean = parts.iter().sum::<u64>() as f64 / parts.len().max(1) as f64;
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let _ = clock;
+    let host = std::env::var("HOSTNAME").unwrap_or_default();
+    format_report(mean, threads, &host)
+}
+
+fn format_report(mean: f64, threads: usize, host: &str) -> String {
+    let mut out = String::new();
+    out.push_str(host);
+    let _ = (mean, threads);
+    out
+}

@@ -1,0 +1,24 @@
+//! Seeded violations for the `lock-discipline` rule: a condvar wait with
+//! no predicate re-checking loop, and a mutex guard held across a channel
+//! send. Mounted at the pipeline queue (a concurrency containment module,
+//! so the primitives themselves are sanctioned there). The while-looped
+//! wait below must stay quiet. Never compiled.
+
+pub fn await_ready(cv: &std::sync::Condvar, guard: Guard) -> Guard {
+    let woken = cv.wait(guard);
+    woken.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub fn relay(&self) {
+    let held = self.state.lock();
+    self.tx.send(held.item);
+}
+
+pub fn await_ready_looped(cv: &std::sync::Condvar, mut guard: Guard) -> Guard {
+    while !guard.ready {
+        guard = cv
+            .wait(guard)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    guard
+}

@@ -1,0 +1,12 @@
+//! Reachability fixture, helper side: a panicking helper in a module
+//! outside every v1 hot-path list. Hot only because
+//! `fixtures/reachability_entry.rs` calls it from an entry point. The
+//! cold fn below must stay quiet. Never compiled.
+
+pub fn helper_pack(values: &[u64]) -> u64 {
+    values.iter().copied().max().unwrap()
+}
+
+pub fn cold_helper(values: &[u64]) -> u64 {
+    values.iter().copied().min().unwrap()
+}

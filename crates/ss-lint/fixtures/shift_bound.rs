@@ -1,0 +1,25 @@
+//! Seeded violations for the `shift-bound` rule: non-literal shift
+//! amounts with no dominating bound check, in a file inside the
+//! bit-manipulation scope. The bounded fns below must stay quiet. Never
+//! compiled.
+
+pub fn splice(word: u64, bits: u32) -> u64 {
+    word << bits
+}
+
+pub fn drain(acc: u128, st: &State) -> u128 {
+    acc >> st.phase
+}
+
+pub fn checked(word: u64, take: u32) -> u64 {
+    word.checked_shl(take).unwrap_or(0)
+}
+
+pub fn bounded_ok(word: u64, bits: u32) -> u64 {
+    debug_assert!(bits < 64);
+    word << bits
+}
+
+pub fn masked_ok(word: u64, bits: u32) -> u64 {
+    word >> (bits & 63)
+}

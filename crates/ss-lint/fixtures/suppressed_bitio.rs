@@ -1,0 +1,8 @@
+//! Negative control for `shift-bound`: an annotated variable shift,
+//! mounted inside the bit-manipulation scope. The range proof makes the
+//! linter report it clean. Never compiled.
+
+pub fn splice(word: u64, bits: u32) -> u64 {
+    // ss-lint: allow(shift-bound) -- bits <= MAX_WIDTH == 16 by GroupHeader construction
+    word << bits
+}

@@ -1,0 +1,15 @@
+//! Negative control for `lock-discipline`: an annotated naked wait and an
+//! annotated guard-across-send, mounted at the pipeline queue. Never
+//! compiled.
+
+pub fn await_shutdown(cv: &std::sync::Condvar, guard: Guard) -> Guard {
+    // ss-lint: allow(lock-discipline) -- single-shot startup barrier; state is set exactly once before notify
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub fn relay_under_lock(&self) {
+    // ss-lint: allow(lock-discipline) -- tx is unbounded here; send never blocks on the peer
+    let held = self.state.lock();
+    self.tx.send(held.item);
+}

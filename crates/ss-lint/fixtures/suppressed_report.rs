@@ -1,0 +1,9 @@
+//! Negative control for `determinism`: an annotated wall-clock read in a
+//! listed serialization module — the timing half of the report that the
+//! deterministic diff excludes. Never compiled.
+
+pub fn stamp_wall_ms() -> u64 {
+    // ss-lint: allow(determinism) -- timing half of the report; the diffed fields exclude it
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_millis() as u64
+}

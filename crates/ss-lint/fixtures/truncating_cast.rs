@@ -1,7 +1,8 @@
 //! Seeded violations for the `truncating-cast` rule: unannotated
-//! narrowing casts in a hot-path module. Never compiled.
+//! narrowing casts in a hot-reachable fn (the entry-point name keeps it
+//! inside the call-graph closure). Never compiled.
 
-pub fn pack(width: u64, value: u64) -> (u8, u16) {
+pub fn scan_gather(width: u64, value: u64) -> (u8, u16) {
     let w = width as u8;
     let v = value as u16;
     (w, v)

@@ -1,4 +1,4 @@
-//! Diagnostics and report rendering (human and JSON).
+//! Diagnostics and report rendering (human, JSON and SARIF 2.1.0).
 
 use std::fmt::Write as _;
 
@@ -28,6 +28,17 @@ pub struct Report {
     pub allows_honored: usize,
     /// Ids of the rules that ran.
     pub rules_run: Vec<&'static str>,
+    /// `(id, description)` for every rule that ran — the SARIF rule
+    /// metadata.
+    pub rule_meta: Vec<(&'static str, &'static str)>,
+    /// Number of fns in the hot reachability closure (informational).
+    pub hot_fns: usize,
+    /// Findings accepted by the baseline ratchet (not in `diagnostics`).
+    pub baselined: usize,
+    /// Baseline fingerprints no current finding matched — fixed findings
+    /// whose entries should be removed (`--write-baseline`). Warnings,
+    /// never failures.
+    pub stale_baseline: Vec<String>,
 }
 
 impl Report {
@@ -54,6 +65,9 @@ impl Report {
                 let _ = writeln!(out, "    | {}", d.snippet);
             }
         }
+        for fp in &self.stale_baseline {
+            let _ = writeln!(out, "warning: stale baseline entry (fixed? regenerate): {fp}");
+        }
         let _ = writeln!(
             out,
             "ss-lint: {} violation(s) across {} file(s); {} rule(s) run, {} allow annotation(s) honored",
@@ -62,6 +76,21 @@ impl Report {
             self.rules_run.len(),
             self.allows_honored,
         );
+        if self.baselined > 0 || !self.stale_baseline.is_empty() {
+            let _ = writeln!(
+                out,
+                "ss-lint: baseline ratchet: {} finding(s) accepted, {} stale entr(y/ies)",
+                self.baselined,
+                self.stale_baseline.len(),
+            );
+        }
+        if self.hot_fns > 0 {
+            let _ = writeln!(
+                out,
+                "ss-lint: call-graph closure: {} fn(s) reachable from the hot entry points",
+                self.hot_fns,
+            );
+        }
         out
     }
 
@@ -98,15 +127,72 @@ impl Report {
             }
             out.push_str(&json_str(r));
         }
+        let _ = write!(
+            out,
+            "],\n  \"hot_fns\": {},\n  \"baselined\": {},\n  \"stale_baseline\": [",
+            self.hot_fns, self.baselined
+        );
+        for (i, fp) in self.stale_baseline.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(fp));
+        }
         out.push_str("],\n  \"clean\": ");
         out.push_str(if self.is_clean() { "true" } else { "false" });
         out.push_str("\n}\n");
         out
     }
+
+    /// Renders the report as a SARIF 2.1.0 log — one run, one result per
+    /// diagnostic, rule metadata from the registry, and a
+    /// `partialFingerprints` entry carrying the baseline fingerprint so
+    /// SARIF consumers dedup across line drift exactly like the ratchet.
+    #[must_use]
+    pub fn render_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"ss-lint\",\n          \"informationUri\": \"https://github.com/shapeshifter/shapeshifter\",\n          \"rules\": [",
+        );
+        for (i, (id, desc)) in self.rule_meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n            {{ \"id\": {}, \"shortDescription\": {{ \"text\": {} }} }}",
+                json_str(id),
+                json_str(desc)
+            );
+        }
+        if !self.rule_meta.is_empty() {
+            out.push_str("\n          ");
+        }
+        out.push_str("]\n        }\n      },\n      \"results\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let fp = crate::baseline::fingerprint(d);
+            let _ = write!(
+                out,
+                "\n        {{\n          \"ruleId\": {},\n          \"level\": \"error\",\n          \"message\": {{ \"text\": {} }},\n          \"locations\": [\n            {{\n              \"physicalLocation\": {{\n                \"artifactLocation\": {{ \"uri\": {} }},\n                \"region\": {{ \"startLine\": {} }}\n              }}\n            }}\n          ],\n          \"partialFingerprints\": {{ \"ssLint/v1\": {} }}\n        }}",
+                json_str(d.rule),
+                json_str(&d.message),
+                json_str(&d.file),
+                d.line,
+                json_str(&fp),
+            );
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
+        out
+    }
 }
 
 /// Escapes `s` as a JSON string literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -142,6 +228,8 @@ mod tests {
             files_scanned: 3,
             allows_honored: 1,
             rules_run: vec!["panic-freedom"],
+            rule_meta: vec![("panic-freedom", "hot paths never panic")],
+            ..Report::default()
         }
     }
 
@@ -166,6 +254,36 @@ mod tests {
         let r = Report::default();
         assert!(r.is_clean());
         assert!(r.render_json().contains(r#""clean": true"#));
+    }
+
+    #[test]
+    fn sarif_output_carries_rule_meta_location_and_fingerprint() {
+        let sarif = sample().render_sarif();
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\": \"panic-freedom\""));
+        assert!(sarif.contains("\"uri\": \"crates/x/src/lib.rs\""));
+        assert!(sarif.contains("\"startLine\": 7"));
+        assert!(sarif.contains("ssLint/v1"));
+        assert!(sarif.contains("hot paths never panic"));
+    }
+
+    #[test]
+    fn sarif_empty_report_is_well_formed() {
+        let sarif = Report::default().render_sarif();
+        assert!(sarif.contains("\"results\": []"));
+    }
+
+    #[test]
+    fn baseline_counts_surface_in_human_and_json() {
+        let mut r = sample();
+        r.baselined = 4;
+        r.stale_baseline = vec!["r|f.rs|snippet".to_string()];
+        let human = r.render_human();
+        assert!(human.contains("4 finding(s) accepted"));
+        assert!(human.contains("stale baseline entry"));
+        let json = r.render_json();
+        assert!(json.contains("\"baselined\": 4"));
+        assert!(json.contains("r|f.rs|snippet"));
     }
 
     #[test]

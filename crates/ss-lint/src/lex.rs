@@ -62,10 +62,24 @@ pub fn strip(source: &str) -> Vec<Line> {
 
     while i < chars.len() {
         let c = chars[i];
+        // CRLF: drop the `\r` so `code`/`raw` columns match LF sources and
+        // token patterns never see a trailing carriage return.
+        if c == '\r' && at(i + 1) == Some('\n') {
+            i += 1;
+            continue;
+        }
         if c == '\n' {
             // Line comments end at the newline; every other state persists.
             if state == State::LineComment {
                 state = State::Code;
+            }
+            // A backslash immediately before the newline inside a string is
+            // a line continuation: the newline itself is the escaped
+            // character, so the escape must not carry into the next line
+            // (or a closing `"` there would be swallowed and the rest of
+            // the file blanked — real span drift).
+            if matches!(state, State::Str | State::Char) {
+                escaped = false;
             }
             lines.push(Line {
                 code: std::mem::take(&mut code),
@@ -289,5 +303,109 @@ mod tests {
     fn raw_lines_survive_verbatim() {
         let lines = strip("let x = 1; // ss-lint: allow(rule) -- reason");
         assert!(lines[0].raw.contains("ss-lint: allow(rule) -- reason"));
+    }
+
+    /// Column preservation is the invariant every downstream span depends
+    /// on: each blanked character becomes exactly one space, so `code` and
+    /// `raw` always have the same char count on every line.
+    fn assert_spans_aligned(src: &str) {
+        for (idx, line) in strip(src).iter().enumerate() {
+            assert_eq!(
+                line.code.chars().count(),
+                line.raw.chars().count(),
+                "span drift on line {} of {src:?}: code={:?} raw={:?}",
+                idx + 1,
+                line.code,
+                line.raw
+            );
+        }
+    }
+
+    #[test]
+    fn string_line_continuation_does_not_swallow_the_closing_quote() {
+        // `\` + newline is a line continuation; the `"` on the next line
+        // closes the string and `tail.unwrap()` is real code again.
+        let c = code_of("let s = \"abc\\\n\"; tail.unwrap()");
+        assert!(
+            c[1].contains(".unwrap()"),
+            "closing quote was swallowed: {:?}",
+            c[1]
+        );
+        assert_spans_aligned("let s = \"abc\\\n\"; tail.unwrap()");
+    }
+
+    #[test]
+    fn char_escape_before_newline_is_not_sticky() {
+        // Unterminated char literal ending in `\` at EOL (invalid Rust,
+        // but the lexer must not let the escape leak across the line).
+        let c = code_of("let c = '\\\n'; x.unwrap()");
+        assert!(c[1].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn crlf_lines_lose_the_carriage_return_and_stay_aligned() {
+        let lines = strip("let a = 1;\r\nlet b = \"x\";\r\n");
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].raw.contains('\r'));
+        assert_eq!(lines[0].code, "let a = 1;");
+        assert_spans_aligned("let a = 1;\r\nlet b = \"y\\\"z\";\r\ndone");
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let c = code_of("let r#match = r#struct + 1; x.unwrap()");
+        assert!(c[0].contains("r#match"));
+        assert!(c[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_string_with_double_fence_keeps_inner_fence_blanked() {
+        let c = code_of("let s = r##\"inner \"# panic! fence\"##; tail");
+        assert!(!c[0].contains("panic"));
+        assert!(c[0].contains("tail"));
+        assert_spans_aligned("let s = r##\"inner \"# panic! fence\"##; tail");
+    }
+
+    #[test]
+    fn multiline_raw_string_and_block_comment_preserve_line_count() {
+        let src = "a\nr#\"one\ntwo panic!\nthree\"#\n/* x\ny */\nb";
+        let lines = strip(src);
+        assert_eq!(lines.len(), src.lines().count());
+        assert!(!lines[2].code.contains("panic"));
+        assert_spans_aligned(src);
+    }
+
+    #[test]
+    fn lifetimes_in_turbofish_and_bounds() {
+        let src = "let v = Vec::<&'a str>::new(); fn g<'b: 'a>() {}";
+        assert_eq!(code_of(src)[0], src);
+        assert_spans_aligned(src);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_are_blanked() {
+        let c = code_of("let s = b\"panic!\"; let c = b'\\n'; tail");
+        assert!(!c[0].contains("panic"));
+        assert!(c[0].contains("tail"));
+        assert_spans_aligned("let s = b\"panic!\"; let c = b'\\n'; tail");
+    }
+
+    #[test]
+    fn escaped_backslash_then_quote_closes_the_string() {
+        let src = r#"let s = "a\\"; x.unwrap()"#;
+        let c = code_of(src);
+        assert!(c[0].contains(".unwrap()"));
+        assert_spans_aligned(src);
+    }
+
+    #[test]
+    fn gnarly_mixed_source_stays_aligned() {
+        let src = "fn f<'a>(x: &'a str) -> u8 {\n\
+                   let c = '\\'';\n\
+                   let s = r#\"q \" p\"#; /* c /* n */ c */ let b = b\"z\";\n\
+                   x.len() as u8\n}";
+        assert_spans_aligned(src);
+        let c = code_of(src);
+        assert!(c[3].contains("as u8"));
     }
 }

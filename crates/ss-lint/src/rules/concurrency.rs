@@ -13,6 +13,7 @@
 //! carry a file-scoped allow-annotation with their safety argument.
 
 use super::{has_token, Rule};
+use crate::callgraph::Analysis;
 use crate::diag::Diagnostic;
 use crate::workspace::{FileKind, Workspace};
 
@@ -45,7 +46,7 @@ impl Rule for Concurrency {
         "thread spawning and locks are confined to the containment modules"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, _cx: &Analysis, out: &mut Vec<Diagnostic>) {
         for file in &ws.files {
             if file.kind != FileKind::Source || CONTAINMENT.contains(&file.rel.as_str()) {
                 continue;
@@ -84,8 +85,9 @@ mod tests {
     fn run_at(rel: &str, src: &str) -> Vec<Diagnostic> {
         let file = ScannedFile::rust(rel, FileKind::Source, src, &["concurrency-containment"]);
         let ws = Workspace::from_parts(vec![file], vec![]);
+        let cx = Analysis::build(&ws);
         let mut out = Vec::new();
-        Concurrency.check(&ws, &mut out);
+        Concurrency.check(&ws, &cx, &mut out);
         out
     }
 

@@ -1,22 +1,33 @@
 //! The rule registry.
 //!
-//! Each rule is a pure function of the scanned [`Workspace`]: it pushes
-//! [`Diagnostic`]s for every violation that is not suppressed by an
-//! allow-annotation. Rules never read the filesystem themselves, which is
-//! what lets the self-test fixtures run through the exact production code
-//! path with synthetic in-memory workspaces.
+//! Each rule is a pure function of the scanned [`Workspace`] plus the
+//! shared [`Analysis`] context (parsed items, symbol table, hot-path
+//! reachability closure): it pushes [`Diagnostic`]s for every violation
+//! that is not suppressed by an allow-annotation. Rules never read the
+//! filesystem themselves, which is what lets the self-test fixtures run
+//! through the exact production code path with synthetic in-memory
+//! workspaces.
 
+mod alloc_hot_loop;
 mod concurrency;
+mod determinism;
+mod lock_discipline;
 mod panic_freedom;
+mod shift_bound;
 mod truncating_cast;
 mod unsafe_wall;
 mod vendor_drift;
 
+use crate::callgraph::Analysis;
 use crate::diag::Diagnostic;
 use crate::workspace::Workspace;
 
+pub use alloc_hot_loop::AllocHotLoop;
 pub use concurrency::Concurrency;
+pub use determinism::Determinism;
+pub use lock_discipline::LockDiscipline;
 pub use panic_freedom::PanicFreedom;
+pub use shift_bound::ShiftBound;
 pub use truncating_cast::TruncatingCast;
 pub use unsafe_wall::UnsafeWall;
 pub use vendor_drift::VendorDrift;
@@ -25,10 +36,10 @@ pub use vendor_drift::VendorDrift;
 pub trait Rule {
     /// Stable identifier used in diagnostics and allow-annotations.
     fn id(&self) -> &'static str;
-    /// One-line description for `--list-rules`.
+    /// One-line description for `--list-rules` and SARIF rule metadata.
     fn description(&self) -> &'static str;
     /// Scans the workspace, appending violations to `out`.
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+    fn check(&self, ws: &Workspace, cx: &Analysis, out: &mut Vec<Diagnostic>);
 }
 
 /// Every shipped rule, in reporting order.
@@ -40,6 +51,10 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(TruncatingCast),
         Box::new(Concurrency),
         Box::new(VendorDrift),
+        Box::new(AllocHotLoop),
+        Box::new(Determinism),
+        Box::new(ShiftBound),
+        Box::new(LockDiscipline),
     ]
 }
 
@@ -89,7 +104,12 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len(), "duplicate rule id");
         assert!(ids.contains(&"panic-freedom"));
+        assert!(ids.contains(&"alloc-in-hot-loop"));
+        assert!(ids.contains(&"determinism"));
+        assert!(ids.contains(&"shift-bound"));
+        assert!(ids.contains(&"lock-discipline"));
         assert!(ids.contains(&"annotation"));
+        assert_eq!(ids.len(), 10, "9 rules + the annotation meta-rule");
     }
 
     #[test]

@@ -1,45 +1,23 @@
-//! Rule `panic-freedom`: designated hot-path modules must not contain
-//! panicking constructs.
+//! Rule `panic-freedom`: code reachable from the hot entry points must
+//! not contain panicking constructs.
 //!
 //! The ShapeShifter container is decoded on the serving path; a panic in
 //! the codec, the bit I/O substrate or a simulator inner loop takes the
-//! whole process down mid-stream. In those modules the rule forbids
-//! `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`,
-//! `unimplemented!` and direct slice indexing (`values[i]`, `&buf[a..b]`),
-//! all of which can abort. Test modules are exempt — asserting with
-//! `unwrap` is the point of a test — and structurally-proven sites carry
+//! whole process down mid-stream. v1 policed a hand-maintained module
+//! list, which misses the panicking helper in an *unlisted* module the
+//! moment a hot entry point starts calling it. v2 asks the call-graph
+//! closure instead: every line inside a fn transitively reachable from
+//! [`crate::callgraph::ENTRY_POINTS`] must be free of `.unwrap()`,
+//! `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` and
+//! direct slice indexing (`values[i]`, `&buf[a..b]`), all of which can
+//! abort. Test modules are exempt — asserting with `unwrap` is the point
+//! of a test — and structurally-proven sites carry
 //! `// ss-lint: allow(panic-freedom) -- <why the panic cannot fire>`.
 
 use super::{has_token, Rule};
+use crate::callgraph::Analysis;
 use crate::diag::Diagnostic;
 use crate::workspace::{FileKind, Workspace};
-
-/// Workspace-relative paths of the hot-path modules this rule polices:
-/// the bit I/O substrate, the codec/decompressor/detector core, the
-/// accelerator simulator inner loops, and the entire ss-trace crate —
-/// the observability layer is called *from* every hot path, so a panic
-/// there is a panic everywhere.
-pub const HOT_PATHS: &[&str] = &[
-    "crates/ss-bitio/src/reader.rs",
-    "crates/ss-bitio/src/writer.rs",
-    "crates/ss-core/src/codec.rs",
-    "crates/ss-core/src/checked.rs",
-    "crates/ss-core/src/index.rs",
-    "crates/ss-core/src/kernels.rs",
-    "crates/ss-core/src/session.rs",
-    "crates/ss-core/src/decompressor.rs",
-    "crates/ss-core/src/detector.rs",
-    "crates/ss-pipeline/src/engine.rs",
-    "crates/ss-pipeline/src/queue.rs",
-    "crates/ss-sim/src/sim.rs",
-    "crates/ss-sim/src/sip.rs",
-    "crates/ss-sim/src/tile.rs",
-    "crates/ss-trace/src/collect.rs",
-    "crates/ss-trace/src/json.rs",
-    "crates/ss-trace/src/lib.rs",
-    "crates/ss-trace/src/metric.rs",
-    "crates/ss-trace/src/recorder.rs",
-];
 
 /// Panicking method calls and macros, with the construct named.
 const PATTERNS: &[(&str, &str)] = &[
@@ -60,17 +38,20 @@ impl Rule for PanicFreedom {
     }
 
     fn description(&self) -> &'static str {
-        "hot-path modules must not unwrap/expect/panic or index slices directly"
+        "fns reachable from hot entry points must not unwrap/expect/panic or index slices"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        for file in &ws.files {
-            if file.kind != FileKind::Source || !HOT_PATHS.contains(&file.rel.as_str()) {
+    fn check(&self, ws: &Workspace, cx: &Analysis, out: &mut Vec<Diagnostic>) {
+        for (file_idx, file) in ws.files.iter().enumerate() {
+            if file.kind != FileKind::Source || !cx.file_has_hot_code(file_idx) {
                 continue;
             }
             for (idx, line) in file.lines.iter().enumerate() {
                 let lineno = idx + 1;
-                if file.is_test_line(lineno) || file.is_allowed(self.id(), lineno) {
+                if !cx.is_hot(file_idx, lineno)
+                    || file.is_test_line(lineno)
+                    || file.is_allowed(self.id(), lineno)
+                {
                     continue;
                 }
                 for &(needle, label) in PATTERNS {
@@ -80,8 +61,9 @@ impl Rule for PanicFreedom {
                             file: file.rel.clone(),
                             line: lineno,
                             message: format!(
-                                "{label} in hot-path module: convert to a typed error or \
-                                 annotate with `ss-lint: allow(panic-freedom) -- <proof>`"
+                                "{label} in a fn reachable from the hot entry points: convert \
+                                 to a typed error or annotate with \
+                                 `ss-lint: allow(panic-freedom) -- <proof>`"
                             ),
                             snippet: file.snippet(lineno),
                         });
@@ -92,7 +74,7 @@ impl Rule for PanicFreedom {
                         rule: self.id(),
                         file: file.rel.clone(),
                         line: lineno,
-                        message: "direct slice indexing in hot-path module (can panic on \
+                        message: "direct slice indexing in a hot-reachable fn (can panic on \
                                   out-of-bounds): use `get`/iterators or annotate with a \
                                   bounds proof"
                             .to_string(),
@@ -137,14 +119,18 @@ mod tests {
         Workspace::from_parts(vec![file], vec![])
     }
 
-    fn run(src: &str) -> Vec<Diagnostic> {
+    /// Lints `body` inside a hot entry-point fn.
+    fn run_hot(body: &str) -> Vec<Diagnostic> {
+        let src = format!("pub fn encode_groups_into(v: u32) -> u32 {{\n{body}\nv\n}}\n");
+        let ws = ws_with(&src);
+        let cx = Analysis::build(&ws);
         let mut out = Vec::new();
-        PanicFreedom.check(&ws_with(src), &mut out);
+        PanicFreedom.check(&ws, &cx, &mut out);
         out
     }
 
     #[test]
-    fn flags_each_construct() {
+    fn flags_each_construct_in_hot_code() {
         for bad in [
             "let x = v.unwrap();",
             "let x = v.expect(\"msg\");",
@@ -153,7 +139,7 @@ mod tests {
             "let y = data[i];",
             "let s = &buf[1..3];",
         ] {
-            assert_eq!(run(bad).len(), 1, "{bad}");
+            assert_eq!(run_hot(bad).len(), 1, "{bad}");
         }
     }
 
@@ -161,36 +147,65 @@ mod tests {
     fn ignores_types_literals_macros_and_comments() {
         for ok in [
             "let z: [u64; 4] = [0; 4];",
-            "let v = vec![1, 2];",
-            "#[derive(Debug)]",
+            "let v2 = vec![1, 2];",
+            "#[allow(dead_code)]",
             "// data[i] and .unwrap() in a comment",
             "let s = \"data[i].unwrap()\";",
-            "let r = v.unwrap_or(0);",
+            "let r = v.checked_add(1).unwrap_or(0);",
         ] {
-            assert!(run(ok).is_empty(), "{ok}");
+            assert!(run_hot(ok).is_empty(), "{ok}");
         }
     }
 
     #[test]
-    fn test_region_and_annotations_are_exempt() {
-        assert!(run("#[cfg(test)]\nmod tests { fn t() { v.unwrap(); } }").is_empty());
-        assert!(run(
-            "let x = v[i]; // ss-lint: allow(panic-freedom) -- i < len checked above"
+    fn annotations_are_exempt() {
+        assert!(run_hot(
+            "let x = d[0]; // ss-lint: allow(panic-freedom) -- d.len() checked above"
         )
         .is_empty());
     }
 
     #[test]
-    fn non_hot_files_are_ignored() {
-        let file = ScannedFile::rust(
-            "crates/ss-bench/src/lib.rs",
+    fn test_regions_are_exempt() {
+        let src = "pub fn decode_groups(v: u32) -> u32 { v }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n  fn decode_groups_t() { v.unwrap(); }\n}\n";
+        let ws = ws_with(src);
+        let cx = Analysis::build(&ws);
+        let mut out = Vec::new();
+        PanicFreedom.check(&ws, &cx, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cold_fns_are_ignored_even_in_former_hot_path_files() {
+        let src = "pub fn cold_helper(v: u32) -> u32 {\n  v.unwrap()\n}\n";
+        let ws = ws_with(src);
+        let cx = Analysis::build(&ws);
+        let mut out = Vec::new();
+        PanicFreedom.check(&ws, &cx, &mut out);
+        assert!(out.is_empty(), "unreachable fn is not hot");
+    }
+
+    #[test]
+    fn reachability_crosses_into_unlisted_modules() {
+        let hot = ScannedFile::rust(
+            "crates/ss-core/src/codec.rs",
             FileKind::Source,
-            "let x = v.unwrap();",
+            "pub fn encode_groups_into(v: u32) -> u32 {\n  helper_pack(v)\n}\n",
             &["panic-freedom"],
         );
-        let ws = Workspace::from_parts(vec![file], vec![]);
+        let helper = ScannedFile::rust(
+            "crates/ss-models/src/packer.rs",
+            FileKind::Source,
+            "pub fn helper_pack(v: u32) -> u32 {\n  v.unwrap()\n}\n",
+            &["panic-freedom"],
+        );
+        let ws = Workspace::from_parts(vec![hot, helper], vec![]);
+        let cx = Analysis::build(&ws);
         let mut out = Vec::new();
-        PanicFreedom.check(&ws, &mut out);
-        assert!(out.is_empty());
+        PanicFreedom.check(&ws, &cx, &mut out);
+        assert_eq!(out.len(), 1, "helper in an unlisted module is still hot");
+        assert_eq!(out[0].file, "crates/ss-models/src/packer.rs");
     }
 }

@@ -5,13 +5,15 @@
 //! arithmetic constantly moves values between `u64` stream fields and
 //! narrow width/payload types. An `as` cast to a sub-word type silently
 //! truncates; one wrong mask and a 17-bit value becomes a valid-looking
-//! 16-bit one, corrupting streams without an error. In hot-path modules
-//! every cast to `u8`/`i8`/`u16`/`i16` must either be rewritten without a
-//! cast or carry `// ss-lint: allow(truncating-cast) -- <range proof>`.
+//! 16-bit one, corrupting streams without an error. On every line of a
+//! fn reachable from the hot entry points, a cast to `u8`/`i8`/`u16`/
+//! `i16` must either be rewritten without a cast or carry
+//! `// ss-lint: allow(truncating-cast) -- <range proof>`.
 //! Casts to 32-bit-and-wider targets are not flagged: the stream arithmetic
 //! is `u64`-based and those casts are checked by the codec's own errors.
 
 use super::{has_token, Rule};
+use crate::callgraph::Analysis;
 use crate::diag::Diagnostic;
 use crate::workspace::{FileKind, Workspace};
 
@@ -27,19 +29,20 @@ impl Rule for TruncatingCast {
     }
 
     fn description(&self) -> &'static str {
-        "narrowing `as` casts in hot-path width arithmetic need a range proof"
+        "narrowing `as` casts in hot-reachable width arithmetic need a range proof"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        for file in &ws.files {
-            if file.kind != FileKind::Source
-                || !super::panic_freedom::HOT_PATHS.contains(&file.rel.as_str())
-            {
+    fn check(&self, ws: &Workspace, cx: &Analysis, out: &mut Vec<Diagnostic>) {
+        for (file_idx, file) in ws.files.iter().enumerate() {
+            if file.kind != FileKind::Source || !cx.file_has_hot_code(file_idx) {
                 continue;
             }
             for (idx, line) in file.lines.iter().enumerate() {
                 let lineno = idx + 1;
-                if file.is_test_line(lineno) || file.is_allowed(self.id(), lineno) {
+                if !cx.is_hot(file_idx, lineno)
+                    || file.is_test_line(lineno)
+                    || file.is_allowed(self.id(), lineno)
+                {
                     continue;
                 }
                 for target in NARROW_TARGETS {
@@ -68,16 +71,18 @@ mod tests {
     use super::*;
     use crate::workspace::ScannedFile;
 
-    fn run(src: &str) -> Vec<Diagnostic> {
+    fn run(body: &str) -> Vec<Diagnostic> {
+        let src = format!("pub fn scan_group(x: u64) -> u64 {{\n{body}\nx\n}}\n");
         let file = ScannedFile::rust(
             "crates/ss-bitio/src/writer.rs",
             FileKind::Source,
-            src,
+            &src,
             &["truncating-cast"],
         );
         let ws = Workspace::from_parts(vec![file], vec![]);
+        let cx = Analysis::build(&ws);
         let mut out = Vec::new();
-        TruncatingCast.check(&ws, &mut out);
+        TruncatingCast.check(&ws, &cx, &mut out);
         out
     }
 
@@ -96,6 +101,21 @@ mod tests {
             "let b = (v & 0xFF) as u8; // ss-lint: allow(truncating-cast) -- masked to 8 bits"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn cold_casts_are_not_audited() {
+        let file = ScannedFile::rust(
+            "crates/ss-bitio/src/writer.rs",
+            FileKind::Source,
+            "pub fn summarize(x: u64) -> u8 {\n  x as u8\n}\n",
+            &["truncating-cast"],
+        );
+        let ws = Workspace::from_parts(vec![file], vec![]);
+        let cx = Analysis::build(&ws);
+        let mut out = Vec::new();
+        TruncatingCast.check(&ws, &cx, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! checking the single crate-root attribute covers the entire crate.
 
 use super::Rule;
+use crate::callgraph::Analysis;
 use crate::diag::Diagnostic;
 use crate::workspace::Workspace;
 
@@ -25,7 +26,7 @@ impl Rule for UnsafeWall {
         "every crate root must carry #![forbid(unsafe_code)]"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, _cx: &Analysis, out: &mut Vec<Diagnostic>) {
         for root in &ws.crate_roots {
             let Some(file) = ws.file(root) else {
                 continue;
@@ -60,8 +61,9 @@ mod tests {
             &["unsafe-wall"],
         );
         let ws = Workspace::from_parts(vec![file], vec!["crates/x/src/lib.rs".to_string()]);
+        let cx = Analysis::build(&ws);
         let mut out = Vec::new();
-        UnsafeWall.check(&ws, &mut out);
+        UnsafeWall.check(&ws, &cx, &mut out);
         out
     }
 

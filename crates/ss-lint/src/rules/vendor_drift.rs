@@ -16,6 +16,7 @@
 //! annotation in both the manifest and the source file.
 
 use super::Rule;
+use crate::callgraph::Analysis;
 use crate::diag::Diagnostic;
 use crate::workspace::{FileKind, Workspace};
 
@@ -34,7 +35,7 @@ impl Rule for VendorDrift {
         "vendored stand-in crates appear only in dev-dependencies and test code"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, ws: &Workspace, _cx: &Analysis, out: &mut Vec<Diagnostic>) {
         for file in &ws.files {
             match file.kind {
                 FileKind::Manifest => self.check_manifest(file, out),
@@ -140,15 +141,19 @@ mod tests {
 
     fn run_manifest(src: &str) -> Vec<Diagnostic> {
         let file = ScannedFile::manifest("crates/x/Cargo.toml", src, RULES);
+        let ws = Workspace::from_parts(vec![file], vec![]);
+        let cx = Analysis::build(&ws);
         let mut out = Vec::new();
-        VendorDrift.check(&Workspace::from_parts(vec![file], vec![]), &mut out);
+        VendorDrift.check(&ws, &cx, &mut out);
         out
     }
 
     fn run_source(rel: &str, kind: FileKind, src: &str) -> Vec<Diagnostic> {
         let file = ScannedFile::rust(rel, kind, src, RULES);
+        let ws = Workspace::from_parts(vec![file], vec![]);
+        let cx = Analysis::build(&ws);
         let mut out = Vec::new();
-        VendorDrift.check(&Workspace::from_parts(vec![file], vec![]), &mut out);
+        VendorDrift.check(&ws, &cx, &mut out);
         out
     }
 

@@ -6,7 +6,9 @@
 //! crate root, a manifest) and runs the *production* lint entry point over
 //! the synthetic workspace — proving the rule still fires, and that it
 //! fires alone. A `suppressed` negative control carries correctly
-//! annotated would-be violations and must come back clean.
+//! annotated would-be violations and must come back clean, and a
+//! `reachability` fixture proves the call-graph closure carries
+//! `panic-freedom` into a module no hand-maintained list ever named.
 //!
 //! Fixtures live outside `src/` so the workspace walk never scans them:
 //! the seeded violations can never fail the real tree.
@@ -18,8 +20,16 @@ use crate::workspace::{FileKind, ScannedFile, Workspace};
 /// Name of the clean negative-control fixture.
 pub const SUPPRESSED: &str = "suppressed";
 
-/// Builds the synthetic workspace for `name` — a rule id or
-/// [`SUPPRESSED`]. Returns `None` for unknown names.
+/// Name of the cross-module reachability fixture: a hot entry point in
+/// one file calling a panicking helper in an unlisted module.
+pub const REACHABILITY: &str = "reachability";
+
+/// File the [`REACHABILITY`] fixture's helper is mounted at — a module
+/// outside every v1 hot-path list.
+pub const REACHABILITY_HELPER: &str = "crates/ss-models/src/packer.rs";
+
+/// Builds the synthetic workspace for `name` — a rule id, [`SUPPRESSED`]
+/// or [`REACHABILITY`]. Returns `None` for unknown names.
 #[must_use]
 pub fn fixture_workspace(name: &str) -> Option<Workspace> {
     let known = rules::known_rule_ids();
@@ -67,6 +77,34 @@ pub fn fixture_workspace(name: &str) -> Option<Workspace> {
             ],
             vec![],
         ),
+        "alloc-in-hot-loop" => (
+            vec![rust(
+                "crates/ss-core/src/session.rs",
+                include_str!("../fixtures/alloc_hot_loop.rs"),
+            )],
+            vec![],
+        ),
+        "determinism" => (
+            vec![rust(
+                "crates/ss-pipeline/src/report.rs",
+                include_str!("../fixtures/determinism.rs"),
+            )],
+            vec![],
+        ),
+        "shift-bound" => (
+            vec![rust(
+                "crates/ss-bitio/src/reader.rs",
+                include_str!("../fixtures/shift_bound.rs"),
+            )],
+            vec![],
+        ),
+        "lock-discipline" => (
+            vec![rust(
+                "crates/ss-pipeline/src/queue.rs",
+                include_str!("../fixtures/lock_discipline.rs"),
+            )],
+            vec![],
+        ),
         "annotation" => (
             vec![rust(
                 "crates/ss-models/src/zoo.rs",
@@ -74,11 +112,38 @@ pub fn fixture_workspace(name: &str) -> Option<Workspace> {
             )],
             vec![],
         ),
+        REACHABILITY => (
+            vec![
+                rust(
+                    "crates/ss-core/src/codec.rs",
+                    include_str!("../fixtures/reachability_entry.rs"),
+                ),
+                rust(
+                    REACHABILITY_HELPER,
+                    include_str!("../fixtures/reachability_helper.rs"),
+                ),
+            ],
+            vec![],
+        ),
         SUPPRESSED => (
-            vec![rust(
-                "crates/ss-core/src/codec.rs",
-                include_str!("../fixtures/suppressed.rs"),
-            )],
+            vec![
+                rust(
+                    "crates/ss-core/src/codec.rs",
+                    include_str!("../fixtures/suppressed.rs"),
+                ),
+                rust(
+                    "crates/ss-bitio/src/writer.rs",
+                    include_str!("../fixtures/suppressed_bitio.rs"),
+                ),
+                rust(
+                    "crates/ss-pipeline/src/queue.rs",
+                    include_str!("../fixtures/suppressed_queue.rs"),
+                ),
+                rust(
+                    "crates/ss-pipeline/src/report.rs",
+                    include_str!("../fixtures/suppressed_report.rs"),
+                ),
+            ],
             vec![],
         ),
         _ => return None,
@@ -92,9 +157,9 @@ pub fn lint_fixture(name: &str) -> Option<Report> {
     fixture_workspace(name).map(|ws| crate::lint(&ws))
 }
 
-/// Runs every rule against its seeded fixture plus the negative control.
-/// Returns failure descriptions; an empty vector means the self-test
-/// passed.
+/// Runs every rule against its seeded fixture, the cross-module
+/// reachability fixture, and the negative control. Returns failure
+/// descriptions; an empty vector means the self-test passed.
 #[must_use]
 pub fn run() -> Vec<String> {
     let mut failures = Vec::new();
@@ -115,6 +180,35 @@ pub fn run() -> Vec<String> {
                 stray.file, stray.line, stray.rule
             ));
         }
+    }
+    match lint_fixture(REACHABILITY) {
+        Some(report) => {
+            let in_helper = report
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule == "panic-freedom" && d.file == REACHABILITY_HELPER)
+                .count();
+            // Exactly one: helper_pack's unwrap is hot via the call edge,
+            // cold_helper's is not.
+            if in_helper != 1 {
+                failures.push(format!(
+                    "reachability fixture: expected exactly 1 panic-freedom diagnostic in \
+                     the unlisted helper module, got {in_helper}:\n{}",
+                    report.render_human()
+                ));
+            }
+            for stray in report
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule != "panic-freedom")
+            {
+                failures.push(format!(
+                    "reachability fixture triggered an unrelated rule: {}:{} [{}]",
+                    stray.file, stray.line, stray.rule
+                ));
+            }
+        }
+        None => failures.push(format!("missing `{REACHABILITY}` fixture")),
     }
     match lint_fixture(SUPPRESSED) {
         Some(report) if !report.is_clean() => {
@@ -146,6 +240,28 @@ mod tests {
         let report = lint_fixture("panic-freedom").expect("fixture");
         // unwrap, expect, panic!, and one direct index.
         assert_eq!(report.diagnostics.len(), 4, "{}", report.render_human());
+    }
+
+    #[test]
+    fn shift_bound_fixture_separates_bounded_from_unbounded() {
+        let report = lint_fixture("shift-bound").expect("fixture");
+        // splice, drain and checked fire; bounded_ok and masked_ok stay
+        // quiet.
+        assert_eq!(report.diagnostics.len(), 3, "{}", report.render_human());
+    }
+
+    #[test]
+    fn lock_discipline_fixture_seeds_both_protocol_violations() {
+        let report = lint_fixture("lock-discipline").expect("fixture");
+        assert_eq!(report.diagnostics.len(), 2, "{}", report.render_human());
+    }
+
+    #[test]
+    fn alloc_fixture_flags_loop_allocations_not_the_hoisted_buffer() {
+        let report = lint_fixture("alloc-in-hot-loop").expect("fixture");
+        // Vec::with_capacity and .to_string() inside the loop.
+        assert_eq!(report.diagnostics.len(), 2, "{}", report.render_human());
+        assert!(report.diagnostics.iter().all(|d| d.line >= 10));
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Differential test: the item parser and the lexer must agree about
+//! spans on every real file in the workspace.
+//!
+//! The parser derives fn-item spans from the lexer's token stream; the
+//! lexer guarantees the `code` view of every line is column-aligned with
+//! the `raw` view. Both invariants are load-bearing — the call-graph pass
+//! attributes lines to functions through `contains_line`, and annotation
+//! parsing reads raw columns the rules matched in the code view — so this
+//! test re-checks them against each other over the entire shipped tree,
+//! not just synthetic fixtures.
+
+use std::path::Path;
+
+use ss_lint::workspace::{FileKind, Workspace};
+use ss_lint::{lex, parse, rules, workspace};
+
+fn real_workspace() -> Workspace {
+    let root = workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above ss-lint");
+    Workspace::load(&root, &rules::known_rule_ids()).expect("workspace scan")
+}
+
+/// Column preservation: blanking comments/literals replaces characters,
+/// it never inserts or deletes them, so `code` and `raw` have the same
+/// char count on every line of every file.
+#[test]
+fn code_and_raw_views_are_column_aligned_on_every_line() {
+    let ws = real_workspace();
+    let mut lines_checked = 0usize;
+    for file in &ws.files {
+        if file.kind == FileKind::Manifest {
+            continue; // the manifest "lexer" truncates at `#` by design
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            assert_eq!(
+                line.code.chars().count(),
+                line.raw.chars().count(),
+                "{}:{}: code/raw views drifted\ncode: {:?}\nraw:  {:?}",
+                file.rel,
+                idx + 1,
+                line.code,
+                line.raw
+            );
+            lines_checked += 1;
+        }
+    }
+    assert!(lines_checked > 10_000, "suspiciously few lines checked");
+}
+
+/// Every parsed fn item's span lands on lexer lines that corroborate it:
+/// the signature line holds a `fn` token, the body terminator holds `}`,
+/// the span braces balance, and every recorded call site falls inside the
+/// span on a line that holds the callee token.
+#[test]
+fn parsed_item_spans_agree_with_lexer_lines_on_every_file() {
+    let ws = real_workspace();
+    let mut fns_checked = 0usize;
+    for file in &ws.files {
+        if file.kind == FileKind::Manifest {
+            continue;
+        }
+        let parsed = parse::parse(&file.lines);
+        assert_eq!(
+            parsed.loop_depth.len(),
+            file.lines.len(),
+            "{}: loop-depth map does not cover the file",
+            file.rel
+        );
+        for f in &parsed.fns {
+            let ctx = format!("{}: fn `{}` @ {}", file.rel, f.qualified(), f.sig_line);
+            assert!(
+                f.sig_line >= 1 && f.sig_line <= file.lines.len(),
+                "{ctx}: sig_line out of range"
+            );
+            assert!(
+                has_word(&file.lines[f.sig_line - 1].code, "fn"),
+                "{ctx}: no `fn` token on the signature line"
+            );
+            let (Some(start), Some(end)) = (f.body_start, f.body_end) else {
+                // Bodiless declaration (trait signature): nothing more to
+                // cross-check.
+                continue;
+            };
+            assert!(
+                f.sig_line <= start && start <= end && end <= file.lines.len(),
+                "{ctx}: span {start}..={end} is not ordered inside the file"
+            );
+            assert!(
+                file.lines[start - 1].code.contains('{'),
+                "{ctx}: body_start line has no opening brace"
+            );
+            assert!(
+                file.lines[end - 1].code.contains('}'),
+                "{ctx}: body_end line has no closing brace"
+            );
+            let balance: i64 = file.lines[start - 1..end]
+                .iter()
+                .map(|l| {
+                    l.code.chars().fold(0i64, |acc, c| match c {
+                        '{' => acc + 1,
+                        '}' => acc - 1,
+                        _ => acc,
+                    })
+                })
+                .sum();
+            assert_eq!(balance, 0, "{ctx}: braces do not balance over the span");
+            for call in &f.calls {
+                assert!(
+                    f.contains_line(call.line),
+                    "{ctx}: call `{}` @ {} recorded outside the span",
+                    call.name,
+                    call.line
+                );
+                assert!(
+                    has_word(&file.lines[call.line - 1].code, &call.name),
+                    "{ctx}: callee `{}` not on its recorded line {}",
+                    call.name,
+                    call.line
+                );
+            }
+            fns_checked += 1;
+        }
+    }
+    assert!(fns_checked > 500, "suspiciously few fns checked");
+}
+
+/// Any two fn spans in a file either nest or are disjoint — a partial
+/// overlap would mean the brace matcher lost sync with the lexer.
+#[test]
+fn fn_spans_nest_or_are_disjoint() {
+    let ws = real_workspace();
+    for file in &ws.files {
+        if file.kind == FileKind::Manifest {
+            continue;
+        }
+        let parsed = parse::parse(&file.lines);
+        let spans: Vec<(usize, usize, String)> = parsed
+            .fns
+            .iter()
+            .filter_map(|f| Some((f.sig_line, f.body_end?, f.qualified())))
+            .collect();
+        for (i, a) in spans.iter().enumerate() {
+            for b in &spans[i + 1..] {
+                let disjoint = a.1 < b.0 || b.1 < a.0;
+                let a_in_b = b.0 <= a.0 && a.1 <= b.1;
+                let b_in_a = a.0 <= b.0 && b.1 <= a.1;
+                assert!(
+                    disjoint || a_in_b || b_in_a,
+                    "{}: spans of `{}` ({}..={}) and `{}` ({}..={}) partially overlap",
+                    file.rel,
+                    a.2,
+                    a.0,
+                    a.1,
+                    b.2,
+                    b.0,
+                    b.1
+                );
+            }
+        }
+    }
+}
+
+/// The lexer keeps one output line per input line — no splits, no merges
+/// — so parser line numbers index the original file directly.
+#[test]
+fn lexer_preserves_the_line_structure_of_every_file() {
+    let root = workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above ss-lint");
+    let ws = real_workspace();
+    let mut files_checked = 0usize;
+    for file in &ws.files {
+        if file.kind == FileKind::Manifest {
+            continue;
+        }
+        let text = std::fs::read_to_string(root.join(&file.rel)).expect("readable source");
+        let relexed = lex::strip(&text);
+        assert_eq!(
+            relexed.len(),
+            text.lines().count(),
+            "{}: lexer changed the line count",
+            file.rel
+        );
+        assert_eq!(
+            relexed.len(),
+            file.lines.len(),
+            "{}: workspace scan and direct lex disagree on line count",
+            file.rel
+        );
+        for (idx, (a, b)) in relexed.iter().zip(&file.lines).enumerate() {
+            assert_eq!(
+                a.raw,
+                b.raw,
+                "{}:{}: raw line drifted between scan and re-lex",
+                file.rel,
+                idx + 1
+            );
+            assert_eq!(
+                a.code,
+                b.code,
+                "{}:{}: code view drifted between scan and re-lex",
+                file.rel,
+                idx + 1
+            );
+        }
+        files_checked += 1;
+    }
+    assert!(files_checked > 50, "suspiciously few files checked");
+}
+
+/// `true` when `code` holds `word` as a standalone token (not a substring
+/// of a longer identifier).
+fn has_word(code: &str, word: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let at = from + pos;
+        let before_ok = !code[..at].chars().next_back().is_some_and(is_ident);
+        let after_ok = !code[at + word.len()..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + word.len().max(1);
+    }
+    false
+}

@@ -145,6 +145,7 @@ impl BatchReport {
         if self.uncompressed_bits == 0 {
             1.0
         } else {
+            // ss-lint: allow(determinism) -- one float division of two exact integers for display; the diffed fields are the integer bit counts
             self.stream_bits as f64 / self.uncompressed_bits as f64
         }
     }
@@ -181,6 +182,7 @@ impl BatchReport {
     }
 
     fn occupancy(&self, busy: Duration) -> f64 {
+        // ss-lint: allow(determinism) -- occupancy is derived from wall-clock time, the timing half the diff excludes
         let denom = self.elapsed.as_secs_f64() * self.workers.max(1) as f64;
         if denom <= 0.0 {
             0.0
@@ -195,6 +197,7 @@ fn per_second(count: u64, elapsed: Duration) -> f64 {
     if secs <= 0.0 {
         0.0
     } else {
+        // ss-lint: allow(determinism) -- throughput is derived from wall-clock time, the timing half the diff excludes
         count as f64 / secs
     }
 }

@@ -179,13 +179,17 @@ impl QuantizedNetwork {
         match self.method {
             QuantMethod::Tensorflow => {
                 let q = TfQuantizer::new(self.tf_act_asymmetry(layer))
+                    // ss-lint: allow(panic-freedom) -- tf_act_asymmetry clamps to [0, 1), the constructor's accepted range
                     .expect("asymmetry is bounded and finite");
                 let cal_max = (1i32 << profiled_width.max(1)) - 1;
+                // ss-lint: allow(panic-freedom) -- quantize only errors on values above cal_max, and it clamps to cal_max first
                 q.quantize(master, cal_max).expect("clamped values fit u8")
             }
             QuantMethod::RangeAware => {
+                // ss-lint: allow(panic-freedom) -- RangeAwareQuantizer::new accepts 1..=8; the literal 8 is in range
                 let q = RangeAwareQuantizer::new(8).expect("8 is a valid width");
                 q.quantize(master, profiled_width)
+                    // ss-lint: allow(panic-freedom) -- quantize clamps to the profiled width before the container range check
                     .expect("clamped values fit the container")
             }
         }
@@ -195,15 +199,19 @@ impl QuantizedNetwork {
         match self.method {
             QuantMethod::Tensorflow => {
                 let q = TfQuantizer::new(self.tf_wgt_asymmetry(layer))
+                    // ss-lint: allow(panic-freedom) -- tf_wgt_asymmetry clamps to [0, 1), the constructor's accepted range
                     .expect("asymmetry is bounded and finite");
                 // Signed profile width includes the sign bit.
                 let mag = profiled_width.saturating_sub(1).max(1);
                 let cal_max = (1i32 << mag) - 1;
+                // ss-lint: allow(panic-freedom) -- quantize only errors on values above cal_max, and it clamps to cal_max first
                 q.quantize(master, cal_max).expect("clamped values fit u8")
             }
             QuantMethod::RangeAware => {
+                // ss-lint: allow(panic-freedom) -- RangeAwareQuantizer::new accepts 1..=8; the literal 8 is in range
                 let q = RangeAwareQuantizer::new(8).expect("8 is a valid width");
                 q.quantize(master, profiled_width)
+                    // ss-lint: allow(panic-freedom) -- quantize clamps to the profiled width before the container range check
                     .expect("clamped values fit the container")
             }
         }

@@ -83,6 +83,7 @@ impl TraceRecorder {
     #[must_use]
     pub fn with_capacity(layer_capacity: usize, span_capacity: usize) -> Self {
         Self {
+            // ss-lint: allow(determinism) -- the epoch anchors span timestamps, which are trace-only timing data
             epoch: Instant::now(),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             hists: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),

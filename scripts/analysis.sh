@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Static-analysis gate: the workspace linter, its self-test, every seeded
-# fixture (each must make the linter exit non-zero — a fixture that lints
-# clean means its rule has gone blind), and the decoder corruption fuzz
-# suites that exercise the checked-decode invariants.
+# Static-analysis gate: the workspace linter under its baseline ratchet,
+# its self-test, every seeded fixture (each must make the linter exit
+# non-zero — a fixture that lints clean means its rule has gone blind),
+# and the decoder corruption fuzz suites that exercise the checked-decode
+# invariants.
+#
+# With --lint-ratchet the gate also fails on *stale* baseline entries —
+# accepted findings whose code has since been fixed. Stale entries are
+# harmless for correctness (the default run only fails on NEW findings)
+# but let the baseline rot; CI runs with the flag, local runs warn.
 #
 # With --update-timings the perf regression gate also runs: perf_baseline
 # refuses to overwrite BENCH_codec_timings.json if single-thread encode
@@ -14,16 +20,28 @@ cd "$(dirname "$0")/.."
 
 UPDATE_TIMINGS=0
 ACCEPT_PERF_CHANGE=0
+LINT_RATCHET=0
 for arg in "$@"; do
     case "$arg" in
         --update-timings) UPDATE_TIMINGS=1 ;;
         --accept-perf-change) ACCEPT_PERF_CHANGE=1 ;;
+        --lint-ratchet) LINT_RATCHET=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
 
-echo "== ss-lint: shipped workspace =="
-cargo run --release -q -p ss-lint
+echo "== ss-lint: shipped workspace (baseline ratchet) =="
+lint_out="$(cargo run --release -q -p ss-lint)" || {
+    printf '%s\n' "$lint_out"
+    echo "FAIL: findings not covered by scripts/lint_baseline.json" >&2
+    exit 1
+}
+printf '%s\n' "$lint_out"
+if [ "$LINT_RATCHET" = 1 ] && printf '%s' "$lint_out" | grep -Eq '[1-9][0-9]* stale'; then
+    echo "FAIL: --lint-ratchet: stale baseline entries (fixed findings still accepted)" >&2
+    echo "      regenerate with: cargo run -p ss-lint -- --write-baseline" >&2
+    exit 1
+fi
 
 echo
 echo "== ss-lint: self-test =="
@@ -32,7 +50,9 @@ cargo run --release -q -p ss-lint -- --self-test
 echo
 echo "== ss-lint: seeded fixtures (each must trip its rule) =="
 for rule in panic-freedom unsafe-wall truncating-cast \
-            concurrency-containment vendor-drift annotation; do
+            concurrency-containment vendor-drift annotation \
+            alloc-in-hot-loop determinism shift-bound lock-discipline \
+            reachability; do
     if cargo run --release -q -p ss-lint -- --fixture "$rule" >/dev/null; then
         echo "FAIL: fixture '$rule' linted clean — its rule is blind" >&2
         exit 1

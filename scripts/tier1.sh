@@ -11,6 +11,7 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
 cargo run --release -q -p ss-lint
+cargo run --release -q -p ss-lint -- --self-test
 
 # Deprecated-API wall: the workspace must build with deprecation warnings
 # hardened into errors. The `#[deprecated]` shims themselves (old

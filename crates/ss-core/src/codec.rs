@@ -1054,7 +1054,14 @@ impl EncodedTensor {
     /// measures the stream alone.
     #[must_use]
     pub fn index_bits(&self) -> u64 {
-        self.index.as_ref().map_or(0, ChunkIndex::serialized_bits)
+        // The size arithmetic cannot overflow for an index the codec
+        // built (entry counts are bounded by the tensor length), so the
+        // checked path's error collapses to 0 rather than forcing a
+        // `Result` onto every accounting caller.
+        self.index
+            .as_ref()
+            .and_then(|i| i.serialized_bits().ok())
+            .unwrap_or(0)
     }
 
     /// Uncompressed footprint in bits.

@@ -84,6 +84,25 @@ fn bits_for(v: u64) -> u32 {
     (64 - v.leading_zeros()).max(1)
 }
 
+/// Checked serialized-size arithmetic for an `n`-entry index with the
+/// given field widths: header + entries, byte-padded, plus the CRC-32
+/// trailer. Factored out of [`ChunkIndex::serialized_bits`] so the
+/// overflow path is testable with an adversarial `n` that no real entry
+/// vector could ever materialize.
+fn serialized_bits_for(n: u64, odb: u32, vb: u32) -> Result<u64, CodecError> {
+    n.saturating_sub(1)
+        .checked_mul(u64::from(odb))
+        .and_then(|deltas| n.checked_mul(u64::from(vb)).map(|vals| (deltas, vals)))
+        .and_then(|(deltas, vals)| deltas.checked_add(vals))
+        .and_then(|entries| entries.checked_add(32 + 32 + 7 + 7))
+        .and_then(|body| body.checked_add(7))
+        .map(|body| body / 8 * 8)
+        .and_then(|padded| padded.checked_add(32))
+        .ok_or(CodecError::CorruptIndex {
+            reason: "serialized size overflows",
+        })
+}
+
 impl ChunkIndex {
     /// Assembles an index from its parts. The codec calls this with the
     /// offsets it recorded while encoding; `entries` must be non-empty and
@@ -149,12 +168,17 @@ impl ChunkIndex {
     /// Size of the serialized index in bits (header + entries + padding +
     /// checksum) — the metadata overhead a v2 container pays for random
     /// access.
-    #[must_use]
-    pub fn serialized_bits(&self) -> u64 {
-        let n = self.entries.len() as u64;
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::CorruptIndex`] if the entry count is so large that
+    /// the size arithmetic overflows `u64` — possible only for an index
+    /// fabricated from a hostile header, never for one the codec built,
+    /// but a wrong (wrapped) size here would mis-preallocate the
+    /// serialization buffer, so the arithmetic is checked end to end.
+    pub fn serialized_bits(&self) -> Result<u64, CodecError> {
         let (odb, vb) = self.field_widths();
-        let body = 32 + 32 + 7 + 7 + n.saturating_sub(1) * u64::from(odb) + n * u64::from(vb);
-        body.div_ceil(8) * 8 + 32
+        serialized_bits_for(self.entries.len() as u64, odb, vb)
     }
 
     /// The narrowest field widths that hold every offset delta and value
@@ -189,7 +213,7 @@ impl ChunkIndex {
     /// (unreachable for an index built by [`ChunkIndex::from_parts`]).
     pub fn to_bytes(&self) -> Result<Vec<u8>, CodecError> {
         let (odb, vb) = self.field_widths();
-        let mut w = BitWriter::with_capacity_bits(self.serialized_bits());
+        let mut w = BitWriter::with_capacity_bits(self.serialized_bits()?);
         w.write_bits(self.entries.len() as u64, 32)?;
         w.write_bits(u64::from(self.chunk_groups), 32)?;
         w.write_bits(u64::from(odb), 7)?;
@@ -423,7 +447,7 @@ mod tests {
     fn roundtrips_canonically() {
         let idx = sample();
         let bytes = idx.to_bytes().unwrap();
-        assert_eq!(bytes.len() as u64 * 8, idx.serialized_bits());
+        assert_eq!(bytes.len() as u64 * 8, idx.serialized_bits().unwrap());
         let back = ChunkIndex::from_bytes(&bytes).unwrap();
         assert_eq!(back, idx);
         // Canonical: re-serializing reproduces the exact blob.
@@ -536,6 +560,26 @@ mod tests {
             }]
         )
         .is_err());
+    }
+
+    #[test]
+    fn serialized_size_arithmetic_is_checked() {
+        // An adversarial entry count from a hostile header must yield a
+        // typed error, not a wrapped (wrong) preallocation size. 2^59
+        // entries x 64-bit fields overflows u64 in both the delta and the
+        // value-count term.
+        assert!(matches!(
+            serialized_bits_for(1 << 59, 64, 64),
+            Err(CodecError::CorruptIndex { .. })
+        ));
+        // Value-count term alone fits; adding the fixed header overflows.
+        assert!(matches!(
+            serialized_bits_for(u64::MAX / 64, 0, 64),
+            Err(CodecError::CorruptIndex { .. })
+        ));
+        // Sane sizes still agree with the serializer (see
+        // `roundtrips_canonically` for the end-to-end identity).
+        assert_eq!(serialized_bits_for(1, 0, 1).unwrap(), (78 + 1 + 7) / 8 * 8 + 32);
     }
 
     #[test]

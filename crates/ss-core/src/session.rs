@@ -211,25 +211,53 @@ impl CodecSession {
     ) -> Result<(), CodecError> {
         // Decode under the *container's* group size (which may differ from
         // the session's), exactly as the one-shot decode does.
-        let codec = ShapeShifterCodec::from_config(
-            CodecConfig::new()
-                .with_group_size(encoded.group_size)
-                .with_index_policy(IndexPolicy::None)
-                .with_exec(ExecPolicy::Sequential),
-        )?;
-        codec.decode_stream_into(
+        self.decode_stream_into(
             &encoded.bytes,
             encoded.bit_len,
             encoded.dtype,
             encoded.len,
-            &mut self.values,
+            encoded.group_size,
+            out,
+        )
+    }
+
+    /// Decodes a raw ShapeShifter stream (framing supplied by the caller,
+    /// e.g. parsed from an `SSPK` container header) into an existing
+    /// tensor, reusing the session's value scratch exactly like
+    /// [`CodecSession::decode_into`].
+    ///
+    /// This is the per-record decode path of the shard store (`ss-store`):
+    /// a `ModelStore::get` parses one record's container header, then
+    /// hands the stream here so thousands of lookups share one scratch
+    /// allocation. The parse is sequential — a chunk index, if the
+    /// container carried one, is side metadata this path ignores.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::InvalidGroupSize`] if `group_size` is 0 or exceeds
+    /// 256; otherwise as [`ShapeShifterCodec::decode`].
+    pub fn decode_stream_into(
+        &mut self,
+        stream: &[u8],
+        bit_len: u64,
+        dtype: ss_tensor::FixedType,
+        len: usize,
+        group_size: usize,
+        out: &mut Tensor,
+    ) -> Result<(), CodecError> {
+        let codec = ShapeShifterCodec::from_config(
+            CodecConfig::new()
+                .with_group_size(group_size)
+                .with_index_policy(IndexPolicy::None)
+                .with_exec(ExecPolicy::Sequential),
         )?;
+        codec.decode_stream_into(stream, bit_len, dtype, len, &mut self.values)?;
         // Swap the decoded buffer into the tensor and keep its previous
         // storage as the next call's scratch. The range re-validation in
         // `replace_flat` cannot fail: every decoded value passed the
         // container check in `decode_groups`.
         let scratch = std::mem::take(&mut self.values);
-        self.values = out.replace_flat(encoded.dtype, scratch)?;
+        self.values = out.replace_flat(dtype, scratch)?;
         Ok(())
     }
 

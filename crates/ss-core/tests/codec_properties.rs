@@ -105,7 +105,7 @@ proptest! {
             if let Some(index) = enc.index() {
                 let back = ChunkIndex::from_bytes(&index.to_bytes().unwrap()).unwrap();
                 prop_assert_eq!(&back, index);
-                prop_assert_eq!(enc.index_bits(), back.serialized_bits());
+                prop_assert_eq!(enc.index_bits(), back.serialized_bits().unwrap());
                 let via = codec
                     .decode_stream_indexed(
                         enc.bytes(), enc.bit_len(), enc.dtype(), enc.len(), &back, 4,

@@ -42,6 +42,12 @@ pub const ENTRY_POINTS: &[&str] = &[
     "Pipeline::process",
     "Pipeline::encode_batch",
     "Pipeline::decode_batch",
+    // Shard store serving paths: streaming append and random-access get
+    // both sit on the model-loading critical path.
+    "ShardWriter::append",
+    "ModelWriter::append_tensor",
+    "ModelStore::get",
+    "ModelStore::verify",
     // Accelerator simulator inner loop.
     "simulate",
 ];

@@ -1,0 +1,476 @@
+//! Random-access reading of a sharded model.
+//!
+//! [`ModelStore::open`] reads only each shard's footer and end-of-file
+//! index — a few KiB per shard regardless of shard size — and builds a
+//! name → (shard, entry) map. [`get`](ModelStore::get) then issues one
+//! ranged read for exactly the requested record's block, checks its
+//! CRC-32 against both the block trailer and the index, and decodes the
+//! SSPK payload through a reusable [`ss_core::CodecSession`] — O(1)
+//! lookups, lazy decode, no full-shard scans. The
+//! `store_payload_bytes_read` trace counter is the partial-read receipt:
+//! after any number of `get`s it equals the sum of the fetched blocks'
+//! lengths, never the shard sizes.
+
+use std::collections::HashMap;
+
+use shapeshifter::container;
+use ss_core::{CodecConfig, CodecSession};
+use ss_tensor::{FixedType, Shape, Tensor};
+use ss_trace::Counter;
+
+use crate::error::StoreError;
+use crate::format::{self, RecordEntry, FOOTER_LEN, HEADER_LEN};
+use crate::provider::StorageProvider;
+
+struct ShardState {
+    /// Object name in the provider.
+    name: String,
+    /// Total object size in bytes.
+    size: u64,
+    /// Whole-shard CRC-32 declared by the footer.
+    shard_crc: u32,
+    /// Parsed end-of-file index, in block order.
+    entries: Vec<RecordEntry>,
+}
+
+/// What [`ModelStore::verify`] checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Shards whose whole-file CRC-32 was recomputed and matched.
+    pub shards: usize,
+    /// Records whose block CRC-32 was recomputed and matched.
+    pub records: usize,
+    /// Total bytes read and checksummed.
+    pub bytes: u64,
+}
+
+/// A read-only view of one model's shards with O(1) access by record
+/// name.
+pub struct ModelStore<'a> {
+    provider: &'a dyn StorageProvider,
+    model: String,
+    shards: Vec<ShardState>,
+    /// name → (shard index, entry index); the O(1) lookup table.
+    lookup: HashMap<String, (usize, usize)>,
+    session: CodecSession,
+    block_buf: Vec<u8>,
+}
+
+impl<'a> ModelStore<'a> {
+    /// Opens `model` in `provider`: discovers its shards, parses every
+    /// end-of-file index (footer + index reads only — record payloads
+    /// stay untouched) and builds the lookup table.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoShards`] if no shard of `model` exists;
+    /// [`StoreError::CorruptShard`] / [`StoreError::BadMagic`] /
+    /// [`StoreError::UnsupportedVersion`] for damaged shards;
+    /// [`StoreError::DuplicateRecord`] if two shards claim one name.
+    pub fn open(provider: &'a dyn StorageProvider, model: &str) -> Result<Self, StoreError> {
+        let mut shard_names: Vec<(u16, String)> = provider
+            .list()?
+            .into_iter()
+            .filter_map(|object| {
+                format::parse_shard_name(&object)
+                    .filter(|(m, _)| *m == model)
+                    .map(|(_, no)| (no, object.clone()))
+            })
+            .collect();
+        shard_names.sort_unstable();
+        if shard_names.is_empty() {
+            return Err(StoreError::NoShards {
+                model: model.to_string(),
+            });
+        }
+        let mut shards = Vec::with_capacity(shard_names.len());
+        // ss-lint: allow(determinism) -- lookup is keyed access only; serialized orderings come from names() (sorted) and list() (shard/block order), never from map iteration
+        let mut lookup = HashMap::new();
+        let mut buf = Vec::new();
+        for (expected_no, name) in &shard_names {
+            let size = provider.size(name)?;
+            let min = (HEADER_LEN + FOOTER_LEN) as u64;
+            if size < min {
+                return Err(StoreError::CorruptShard {
+                    shard: name.clone(),
+                    reason: format!("shard is {size} bytes, the framing alone needs {min}"),
+                });
+            }
+            provider.read_range(name, 0, HEADER_LEN, &mut buf)?;
+            let declared_no = format::parse_header(&buf, name)?;
+            if declared_no != *expected_no {
+                return Err(StoreError::CorruptShard {
+                    shard: name.clone(),
+                    reason: format!(
+                        "file name says shard {expected_no} but the header says {declared_no}"
+                    ),
+                });
+            }
+            provider.read_range(name, size - FOOTER_LEN as u64, FOOTER_LEN, &mut buf)?;
+            let (index_len, shard_crc) = format::parse_footer(&buf, name)?;
+            let body = size - min;
+            if index_len > body {
+                return Err(StoreError::CorruptShard {
+                    shard: name.clone(),
+                    reason: format!(
+                        "index claims {index_len} bytes but the shard carries {body} \
+                         between header and footer"
+                    ),
+                });
+            }
+            let index_bytes = usize::try_from(index_len).map_err(|_| StoreError::LengthOverflow {
+                field: "index length",
+                value: index_len,
+            })?;
+            let index_off = size - FOOTER_LEN as u64 - index_len;
+            provider.read_range(name, index_off, index_bytes, &mut buf)?;
+            let entries = format::index_from_bytes(&buf, name)?;
+            let shard_idx = shards.len();
+            for (entry_idx, e) in entries.iter().enumerate() {
+                // Placement must stay inside the record region — a
+                // forged offset must not alias the index or footer.
+                let end = e.block_offset.checked_add(e.block_len);
+                if e.block_offset < HEADER_LEN as u64 || end.is_none_or(|end| end > index_off) {
+                    return Err(StoreError::CorruptShard {
+                        shard: name.clone(),
+                        reason: format!(
+                            "record {:?} claims bytes {}+{} outside the record region",
+                            e.meta.name, e.block_offset, e.block_len
+                        ),
+                    });
+                }
+                if lookup
+                    .insert(e.meta.name.clone(), (shard_idx, entry_idx))
+                    .is_some()
+                {
+                    return Err(StoreError::DuplicateRecord {
+                        name: e.meta.name.clone(),
+                    });
+                }
+            }
+            shards.push(ShardState {
+                name: name.clone(),
+                size,
+                shard_crc,
+                entries,
+            });
+            let rec = ss_trace::global();
+            if rec.enabled() {
+                rec.add(Counter::StoreShardsOpened, 1);
+            }
+        }
+        Ok(ModelStore {
+            provider,
+            model: model.to_string(),
+            shards,
+            lookup,
+            session: CodecSession::new(CodecConfig::new())?,
+            block_buf: Vec::new(),
+        })
+    }
+
+    /// The model name this store serves.
+    #[must_use]
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Number of records across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lookup.len()
+    }
+
+    /// Whether the store holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lookup.is_empty()
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Every record's index entry, in shard then block order.
+    #[must_use]
+    pub fn list(&self) -> Vec<&RecordEntry> {
+        self.shards.iter().flat_map(|s| s.entries.iter()).collect()
+    }
+
+    /// All record names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.lookup.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The index entry for `name`, if present (O(1)).
+    #[must_use]
+    pub fn entry(&self, name: &str) -> Option<&RecordEntry> {
+        let &(s, e) = self.lookup.get(name)?;
+        self.shards.get(s).and_then(|shard| shard.entries.get(e))
+    }
+
+    /// Reads and CRC-checks exactly one record's block, leaving it in
+    /// `self.block_buf`; returns the shard index and entry index.
+    fn fetch_block(&mut self, name: &str) -> Result<(usize, usize), StoreError> {
+        let &(s, e) = self.lookup.get(name).ok_or_else(|| StoreError::RecordNotFound {
+            name: name.to_string(),
+        })?;
+        let shard = &self.shards[s];
+        let entry = &shard.entries[e];
+        let len = usize::try_from(entry.block_len).map_err(|_| StoreError::LengthOverflow {
+            field: "record block length",
+            value: entry.block_len,
+        })?;
+        self.provider
+            .read_range(&shard.name, entry.block_offset, len, &mut self.block_buf)?;
+        let rec = ss_trace::global();
+        if rec.enabled() {
+            rec.add(Counter::StorePayloadBytesRead, entry.block_len);
+        }
+        // The block's own CRC trailer must also match the index's copy:
+        // otherwise index and block were written for different data.
+        if self.block_buf.len() >= 4 {
+            let stored = u32::from_le_bytes(
+                self.block_buf[self.block_buf.len() - 4..]
+                    .try_into()
+                    .unwrap_or([0; 4]),
+            );
+            if stored != entry.record_crc {
+                return Err(StoreError::RecordChecksum {
+                    shard: shard.name.clone(),
+                    name: name.to_string(),
+                });
+            }
+        }
+        Ok((s, e))
+    }
+
+    /// Decodes record `name` into a fresh tensor.
+    ///
+    /// One ranged read of the record's block; nothing else of the shard
+    /// is touched or decoded.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RecordNotFound`], checksum and corruption variants,
+    /// or a decode failure from the payload codec.
+    pub fn get(&mut self, name: &str) -> Result<Tensor, StoreError> {
+        let (s, e) = self.fetch_block(name)?;
+        let shard = &self.shards[s];
+        let entry = &shard.entries[e];
+        let (meta, payload) =
+            format::parse_record_block(&self.block_buf, &shard.name, name)?;
+        if meta != entry.meta {
+            return Err(StoreError::CorruptShard {
+                shard: shard.name.clone(),
+                reason: format!("record {name:?}: block metadata disagrees with the index"),
+            });
+        }
+        let mut out = Tensor::zeros(Shape::flat(0), FixedType::I16);
+        container::unpack_with(payload, &mut self.session, &mut out)?;
+        if out.len() as u64 != meta.values {
+            return Err(StoreError::CorruptShard {
+                shard: shard.name.clone(),
+                reason: format!(
+                    "record {name:?} decoded to {} values, metadata says {}",
+                    out.len(),
+                    meta.values
+                ),
+            });
+        }
+        let rec = ss_trace::global();
+        if rec.enabled() {
+            rec.add(Counter::StoreRecordsDecoded, 1);
+        }
+        Ok(out)
+    }
+
+    /// Returns record `name`'s raw SSPK container bytes without
+    /// decoding them (still CRC-checked).
+    ///
+    /// # Errors
+    ///
+    /// As [`get`](Self::get), minus decode failures.
+    pub fn get_raw(&mut self, name: &str) -> Result<Vec<u8>, StoreError> {
+        let (s, _) = self.fetch_block(name)?;
+        let shard = &self.shards[s];
+        let (_, payload) = format::parse_record_block(&self.block_buf, &shard.name, name)?;
+        Ok(payload.to_vec())
+    }
+
+    /// Recomputes every checksum in every shard: each whole-shard
+    /// CRC-32 against its footer, each record block's CRC-32 against
+    /// both its trailer and the index, each block's metadata against the
+    /// index copy, and that all records share one codec fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// The first mismatch found, as a typed error.
+    pub fn verify(&mut self) -> Result<VerifyReport, StoreError> {
+        let mut report = VerifyReport {
+            shards: 0,
+            records: 0,
+            bytes: 0,
+        };
+        let mut fingerprint: Option<u64> = None;
+        for s in 0..self.shards.len() {
+            let (name, size, declared_crc) = {
+                let shard = &self.shards[s];
+                (shard.name.clone(), shard.size, shard.shard_crc)
+            };
+            let covered = usize::try_from(size - FOOTER_LEN as u64).map_err(|_| {
+                StoreError::LengthOverflow {
+                    field: "shard size",
+                    value: size,
+                }
+            })?;
+            self.provider.read_range(&name, 0, covered, &mut self.block_buf)?;
+            if format::crc32(&self.block_buf) != declared_crc {
+                return Err(StoreError::CorruptShard {
+                    shard: name,
+                    reason: "whole-shard CRC-32 mismatch".to_string(),
+                });
+            }
+            report.bytes += size;
+            for e in 0..self.shards[s].entries.len() {
+                let entry = &self.shards[s].entries[e];
+                let start = usize::try_from(entry.block_offset).map_err(|_| {
+                    StoreError::LengthOverflow {
+                        field: "record offset",
+                        value: entry.block_offset,
+                    }
+                })?;
+                let len = usize::try_from(entry.block_len).map_err(|_| {
+                    StoreError::LengthOverflow {
+                        field: "record block length",
+                        value: entry.block_len,
+                    }
+                })?;
+                // Placement was bounds-checked at open; slice within the
+                // covered region.
+                let Some(block) = self.block_buf.get(start..start + len) else {
+                    return Err(StoreError::CorruptShard {
+                        shard: name.clone(),
+                        reason: format!(
+                            "record {:?} claims bytes outside the shard",
+                            entry.meta.name
+                        ),
+                    });
+                };
+                let (meta, _) =
+                    format::parse_record_block(block, &name, &entry.meta.name)?;
+                if meta != entry.meta {
+                    return Err(StoreError::CorruptShard {
+                        shard: name.clone(),
+                        reason: format!(
+                            "record {:?}: block metadata disagrees with the index",
+                            entry.meta.name
+                        ),
+                    });
+                }
+                if block[block.len() - 4..] != entry.record_crc.to_le_bytes() {
+                    return Err(StoreError::RecordChecksum {
+                        shard: name.clone(),
+                        name: meta.name,
+                    });
+                }
+                match fingerprint {
+                    None => fingerprint = Some(meta.fingerprint),
+                    Some(fp) if fp != meta.fingerprint => {
+                        return Err(StoreError::InvalidRecord {
+                            reason: format!(
+                                "record {:?} was packed under a different codec \
+                                 configuration than the rest of the model",
+                                meta.name
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+                report.records += 1;
+            }
+            report.shards += 1;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::MemoryProvider;
+    use crate::writer::ModelWriter;
+    use ss_tensor::{FixedType, Shape};
+
+    fn tensor(seed: i32, len: usize) -> Tensor {
+        let vals = (0..len as i32).map(|i| (i * seed) % 900 - 450).collect();
+        Tensor::from_vec(Shape::flat(len), FixedType::I16, vals).unwrap()
+    }
+
+    fn small_model(p: &MemoryProvider) -> Vec<(String, Tensor)> {
+        let mut w = ModelWriter::new(p, "m").with_shard_bytes(3_000);
+        let tensors: Vec<(String, Tensor)> = (0..5)
+            .map(|i| (format!("layer{i}.weight"), tensor(i + 7, 1500)))
+            .collect();
+        for (i, (name, t)) in tensors.iter().enumerate() {
+            w.append_tensor(name, i as u32, t).unwrap();
+        }
+        assert!(w.finish().unwrap().shards.len() > 1);
+        tensors
+    }
+
+    #[test]
+    fn open_get_list_verify() {
+        let p = MemoryProvider::new();
+        let tensors = small_model(&p);
+        let mut store = ModelStore::open(&p, "m").unwrap();
+        assert_eq!(store.len(), 5);
+        assert!(!store.is_empty());
+        assert!(store.shard_count() > 1);
+        assert_eq!(store.list().len(), 5);
+        assert_eq!(
+            store.names(),
+            tensors.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>()
+        );
+        // Out-of-order random access, twice each.
+        for (name, t) in tensors.iter().rev().chain(tensors.iter()) {
+            assert_eq!(&store.get(name).unwrap(), t);
+        }
+        assert!(matches!(
+            store.get("absent"),
+            Err(StoreError::RecordNotFound { .. })
+        ));
+        let report = store.verify().unwrap();
+        assert_eq!(report.records, 5);
+        assert_eq!(report.shards, store.shard_count());
+        // Raw bytes are a valid SSPK container for the same tensor.
+        let raw = store.get_raw("layer2.weight").unwrap();
+        assert_eq!(&container::unpack(&raw).unwrap(), &tensors[2].1);
+    }
+
+    #[test]
+    fn missing_model_is_no_shards() {
+        let p = MemoryProvider::new();
+        assert!(matches!(
+            ModelStore::open(&p, "nothing"),
+            Err(StoreError::NoShards { .. })
+        ));
+    }
+
+    #[test]
+    fn models_are_namespaced_by_prefix() {
+        let p = MemoryProvider::new();
+        small_model(&p);
+        let mut other = ModelWriter::new(&p, "m2");
+        other.append_tensor("only", 0, &tensor(3, 64)).unwrap();
+        other.finish().unwrap();
+        let store = ModelStore::open(&p, "m2").unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(ModelStore::open(&p, "m").unwrap().len(), 5);
+    }
+}

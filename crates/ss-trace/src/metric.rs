@@ -122,6 +122,18 @@ metric_enum! {
         PipelineMeasureBusyNanos => "pipeline_measure_busy_nanos",
         /// Nanoseconds `ss-pipeline` workers spent inside decode.
         PipelineDecodeBusyNanos => "pipeline_decode_busy_nanos",
+        /// Records appended to `ss-store` shards.
+        StoreRecordsAppended => "store_records_appended",
+        /// Shards finished (index + footer written) by `ss-store`.
+        StoreShardsFinished => "store_shards_finished",
+        /// Shard EOF indexes loaded by `ModelStore::open`.
+        StoreShardsOpened => "store_shards_opened",
+        /// Records decoded through `ModelStore::get`.
+        StoreRecordsDecoded => "store_records_decoded",
+        /// Record-block bytes fetched from storage by `ModelStore::get` —
+        /// the partial-read guarantee: one `get` reads one record block,
+        /// not the shard.
+        StorePayloadBytesRead => "store_payload_bytes_read",
     }
 }
 

@@ -95,6 +95,29 @@ grep -q '"identical_across_worker_counts": true' "$tmp1" || {
 }
 echo "ok: deterministic fields reproduce byte-for-byte"
 
+echo
+echo "== BENCH_store determinism gate (two runs, different SS_THREADS) =="
+# The store bench's deterministic half must be byte-identical across runs
+# AND across thread settings: shard bytes, chained hashes and gate
+# verdicts may depend on nothing but the pinned model.
+tmp3="$(mktemp)" tmp4="$(mktemp)"
+trap 'rm -f "$tmp1" "$tmp2" "$tmp3" "$tmp4"' EXIT
+SS_THREADS=1 SS_BENCH_STORE_OUT="$tmp3" \
+    cargo run --release -q -p ss-bench --bin store_roundtrip -- --smoke >/dev/null
+SS_THREADS=4 SS_BENCH_STORE_OUT="$tmp4" \
+    cargo run --release -q -p ss-bench --bin store_roundtrip -- --smoke >/dev/null
+if ! diff -u "$tmp3" "$tmp4"; then
+    echo "FAIL: BENCH_store deterministic fields differ across runs/SS_THREADS" >&2
+    exit 1
+fi
+for gate in roundtrip_bit_identical single_get_reads_one_block verify_pass; do
+    grep -q "\"$gate\": true" "$tmp3" || {
+        echo "FAIL: store gate $gate did not pass" >&2
+        exit 1
+    }
+done
+echo "ok: store deterministic fields reproduce byte-for-byte across SS_THREADS"
+
 if [ "$UPDATE_TIMINGS" = 1 ]; then
     echo
     echo "== perf regression gate (t1 encode/decode vs committed timings) =="

@@ -46,6 +46,14 @@ echo
 echo "== pipeline smoke (bit-identity + determinism gates) =="
 cargo run --release -q -p ss-bench --bin pipeline_throughput -- --smoke
 
+# Shard-store conformance: the corruption suite (every single-bit flip
+# detected, truncation fails cleanly) plus the roundtrip smoke with its
+# bit-identity, partial-read and verify gates.
+echo
+echo "== shard store (corruption suite + roundtrip gates) =="
+cargo test -q -p ss-store --test shard_corruption --test zoo_roundtrip
+cargo run --release -q -p ss-bench --bin store_roundtrip -- --smoke
+
 echo
 echo "== perf baseline (informational) =="
 cargo run --release -q -p ss-bench --bin perf_baseline

@@ -67,14 +67,19 @@ pub enum ContainerCodec {
 }
 
 impl ContainerCodec {
-    fn to_byte(self) -> u8 {
+    /// The codec's one-byte wire id (shared by the `SSPK` header and the
+    /// `ss-store` shard record metadata).
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
         match self {
             ContainerCodec::ShapeShifter => 0,
             ContainerCodec::Delta => 1,
         }
     }
 
-    fn from_byte(b: u8) -> Option<Self> {
+    /// Inverse of [`to_byte`](Self::to_byte); `None` for unknown ids.
+    #[must_use]
+    pub fn from_byte(b: u8) -> Option<Self> {
         match b {
             0 => Some(ContainerCodec::ShapeShifter),
             1 => Some(ContainerCodec::Delta),
@@ -102,6 +107,21 @@ pub enum ContainerError {
     /// The header is shorter than [`HEADER_LEN`] or internally
     /// inconsistent.
     Malformed(String),
+    /// The serialized chunk index exceeds the format's 4 GiB limit (its
+    /// length travels as a `u32`), so the container cannot be written
+    /// without silently truncating the length field.
+    IndexTooLarge {
+        /// Actual serialized index size in bytes.
+        bytes: usize,
+    },
+    /// A declared length is valid `u64` framing but does not fit this
+    /// target's `usize` — decoding would wrap on a 32-bit host.
+    LengthOverflow {
+        /// Which header field overflowed.
+        field: &'static str,
+        /// The declared value.
+        value: u64,
+    },
     /// The compressed stream failed to decode.
     Codec(CodecError),
     /// Tensor validation failed.
@@ -116,6 +136,16 @@ impl fmt::Display for ContainerError {
                 write!(f, "unsupported container version {v}")
             }
             ContainerError::Malformed(why) => write!(f, "malformed container: {why}"),
+            ContainerError::IndexTooLarge { bytes } => write!(
+                f,
+                "chunk index is {bytes} bytes; the v2 length field holds at most {} \
+                 (pack with a coarser index policy)",
+                u32::MAX
+            ),
+            ContainerError::LengthOverflow { field, value } => write!(
+                f,
+                "header field {field} declares {value}, which overflows this target's usize"
+            ),
             ContainerError::Codec(e) => write!(f, "stream decode failed: {e}"),
             ContainerError::Tensor(e) => write!(f, "tensor validation failed: {e}"),
         }
@@ -261,8 +291,10 @@ pub fn pack_with_policy(
             (bytes, bits, None)
         }
     };
-    let index_len = index_blob.as_ref().map_or(0, Vec::len);
-    let mut out = Vec::with_capacity(HEADER_LEN + 4 + index_len + bytes.len());
+    let index_len = index_blob
+        .as_ref()
+        .map_or(Ok(0u32), |blob| index_block_len(blob.len()))?;
+    let mut out = Vec::with_capacity(HEADER_LEN + 4 + index_len as usize + bytes.len());
     out.extend_from_slice(&MAGIC);
     out.push(if index_blob.is_some() { VERSION_V2 } else { VERSION });
     out.push(tensor.dtype().bits());
@@ -272,11 +304,19 @@ pub fn pack_with_policy(
     out.extend_from_slice(&(tensor.len() as u64).to_le_bytes());
     out.extend_from_slice(&bit_len.to_le_bytes());
     if let Some(blob) = index_blob {
-        out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        out.extend_from_slice(&index_len.to_le_bytes());
         out.extend_from_slice(&blob);
     }
     out.extend_from_slice(&bytes);
     Ok(out)
+}
+
+/// Checked conversion of a serialized chunk-index size to the v2 format's
+/// `u32` length field. A ≥ 4 GiB index would otherwise truncate under
+/// `as u32` and produce a corrupt-but-well-formed file whose declared
+/// index block is a prefix of the real one.
+fn index_block_len(blob_len: usize) -> Result<u32, ContainerError> {
+    u32::try_from(blob_len).map_err(|_| ContainerError::IndexTooLarge { bytes: blob_len })
 }
 
 /// Reads only the header.
@@ -327,11 +367,17 @@ pub fn info(bytes: &[u8]) -> Result<ContainerInfo, ContainerError> {
                 "v2 file too short for its index-length field".to_string(),
             ));
         };
-        let index_len = u32::from_le_bytes(
+        let declared = u32::from_le_bytes(
             bytes[HEADER_LEN..HEADER_LEN + 4]
                 .try_into()
                 .expect("slice length checked"),
-        ) as usize;
+        );
+        // Checked, not `as`: a 16-bit-usize target must reject rather
+        // than wrap a length the framing itself allows.
+        let index_len = usize::try_from(declared).map_err(|_| ContainerError::LengthOverflow {
+            field: "index length",
+            value: u64::from(declared),
+        })?;
         if index_len > rest {
             return Err(ContainerError::Malformed(format!(
                 "index claims {index_len} bytes but file carries {rest} past the header"
@@ -372,6 +418,10 @@ pub fn info(bytes: &[u8]) -> Result<ContainerInfo, ContainerError> {
 /// corrupt stream.
 pub fn unpack(bytes: &[u8]) -> Result<Tensor, ContainerError> {
     let meta = info(bytes)?;
+    // Checked before any use as a count: the 8-byte field wraps under
+    // `as usize` on a 32-bit target, turning a hostile length into a
+    // small-but-wrong allocation and a bogus decode.
+    let len = checked_len(&meta)?;
     let stream = &bytes[meta.stream_offset()..];
     let values = match meta.codec {
         ContainerCodec::ShapeShifter => {
@@ -383,26 +433,74 @@ pub fn unpack(bytes: &[u8]) -> Result<Tensor, ContainerError> {
                     stream,
                     meta.stream_bits,
                     meta.dtype,
-                    meta.len as usize,
+                    len,
                     &index,
                     ss_core::par::thread_count(),
                 )?
             } else {
-                codec.decode_stream(stream, meta.stream_bits, meta.dtype, meta.len as usize)?
+                codec.decode_stream(stream, meta.stream_bits, meta.dtype, len)?
             }
         }
-        ContainerCodec::Delta => DeltaShapeShifter::new(meta.group_size).decode(
-            stream,
-            meta.stream_bits,
-            meta.dtype,
-            meta.len as usize,
-        )?,
+        ContainerCodec::Delta => {
+            DeltaShapeShifter::new(meta.group_size).decode(stream, meta.stream_bits, meta.dtype, len)?
+        }
     };
-    Ok(Tensor::from_vec(
-        Shape::flat(meta.len as usize),
-        meta.dtype,
-        values,
-    )?)
+    Ok(Tensor::from_vec(Shape::flat(len), meta.dtype, values)?)
+}
+
+/// The container's element count as a `usize`, checked against the
+/// target's pointer width.
+fn checked_len(meta: &ContainerInfo) -> Result<usize, ContainerError> {
+    usize::try_from(meta.len).map_err(|_| ContainerError::LengthOverflow {
+        field: "element count",
+        value: meta.len,
+    })
+}
+
+/// Unpacks an `SSPK` byte vector through a reusable [`CodecSession`],
+/// decoding into an existing tensor.
+///
+/// This is the allocation-amortizing sibling of [`unpack`] — the record
+/// payload path of the `ss-store` shard store, where thousands of
+/// per-record decodes share one session's scratch. The stream is parsed
+/// sequentially (a v2 chunk index is validated side metadata for this
+/// path: its presence is honored in [`ContainerInfo::stream_offset`] but
+/// it does not fan the decode out). Delta containers fall back to the
+/// one-shot decoder, which has no session form.
+///
+/// # Errors
+///
+/// As [`unpack`].
+pub fn unpack_with(
+    bytes: &[u8],
+    session: &mut ss_core::CodecSession,
+    out: &mut Tensor,
+) -> Result<(), ContainerError> {
+    let meta = info(bytes)?;
+    let len = checked_len(&meta)?;
+    let stream = &bytes[meta.stream_offset()..];
+    match meta.codec {
+        ContainerCodec::ShapeShifter => {
+            session.decode_stream_into(
+                stream,
+                meta.stream_bits,
+                meta.dtype,
+                len,
+                meta.group_size,
+                out,
+            )?;
+        }
+        ContainerCodec::Delta => {
+            let values = DeltaShapeShifter::new(meta.group_size).decode(
+                stream,
+                meta.stream_bits,
+                meta.dtype,
+                len,
+            )?;
+            *out = Tensor::from_vec(Shape::flat(len), meta.dtype, values)?;
+        }
+    }
+    Ok(())
 }
 
 /// Interprets raw little-endian bytes as fixed-point values for packing.
@@ -582,6 +680,73 @@ mod tests {
             Err(ContainerError::Malformed(_)) | Err(ContainerError::Codec(_))
         ));
         assert!(info(&packed[..10]).is_err());
+    }
+
+    #[test]
+    fn oversized_index_is_a_typed_error() {
+        // The error path is exercised through the length check alone — a
+        // real ≥ 4 GiB index blob is neither constructible in a test nor
+        // necessary, since `pack_with_policy` routes every index length
+        // through the same helper.
+        assert_eq!(index_block_len(0), Ok(0));
+        assert_eq!(index_block_len(u32::MAX as usize), Ok(u32::MAX));
+        #[cfg(target_pointer_width = "64")]
+        {
+            let too_big = u32::MAX as usize + 1;
+            assert_eq!(
+                index_block_len(too_big),
+                Err(ContainerError::IndexTooLarge { bytes: too_big })
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_element_count_is_a_typed_error() {
+        // A header declaring u64::MAX elements: on 32-bit targets the
+        // count overflows usize (LengthOverflow); on 64-bit it survives
+        // the conversion and must then fail the stream-length bound —
+        // either way a typed error, never a wrap or an OOM.
+        let tensor = t(vec![1, -2, 0, 300]);
+        let mut packed = pack(&tensor, 16).unwrap();
+        packed[10..18].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            unpack(&packed),
+            Err(ContainerError::LengthOverflow { .. }) | Err(ContainerError::Codec(_))
+        ));
+        assert_eq!(info(&packed).unwrap().len, u64::MAX);
+        #[cfg(not(target_pointer_width = "64"))]
+        assert!(matches!(
+            unpack(&packed),
+            Err(ContainerError::LengthOverflow {
+                field: "element count",
+                value: u64::MAX,
+            })
+        ));
+    }
+
+    #[test]
+    fn unpack_with_matches_one_shot() {
+        let mut session = ss_core::CodecSession::new(ss_core::CodecConfig::new()).unwrap();
+        let mut out = t(vec![0]);
+        // ShapeShifter v1, ShapeShifter v2 (indexed) and Delta containers
+        // all decode identically through the session path.
+        let vals: Vec<i32> = (0..300).map(|i| (i * 37) % 2000 - 1000).collect();
+        let tensor = t(vals);
+        for packed in [
+            pack(&tensor, 16).unwrap(),
+            pack_with_policy(
+                &tensor,
+                16,
+                ContainerCodec::ShapeShifter,
+                IndexPolicy::EveryGroups(2),
+            )
+            .unwrap(),
+            pack_with_codec(&tensor, 16, ContainerCodec::Delta).unwrap(),
+        ] {
+            unpack_with(&packed, &mut session, &mut out).unwrap();
+            assert_eq!(out, tensor);
+            assert_eq!(out, unpack(&packed).unwrap());
+        }
     }
 
     #[test]

@@ -12,6 +12,54 @@ fn arb_tensor() -> impl Strategy<Value = Tensor> {
     })
 }
 
+/// Deterministic corpus of containers whose length fields are hostile:
+/// an 8-byte element count or 4-byte index length at or near the type's
+/// maximum, which `as usize` would wrap on a 32-bit target. Every entry
+/// must produce a typed error (or, for lengths the file actually backs,
+/// a clean decode) — never a panic, a wrap, or an unbounded allocation.
+#[test]
+fn oversized_length_corpus_yields_typed_errors() {
+    let t = Tensor::from_vec(
+        Shape::flat(64),
+        FixedType::I16,
+        (0..64).map(|i| i * 3 - 90).collect(),
+    )
+    .expect("values fit i16");
+    let v1 = container::pack(&t, 16).expect("packs");
+    let v2 = container::pack_with_policy(
+        &t,
+        16,
+        container::ContainerCodec::ShapeShifter,
+        ss_core::IndexPolicy::EveryGroups(1),
+    )
+    .expect("packs");
+    let meta = container::info(&v2).expect("valid header");
+    assert_eq!(meta.version, container::VERSION_V2);
+
+    // Element counts: u64::MAX, u32::MAX + 1 (wraps to 0 on 32-bit),
+    // and usize::MAX as seen by this target.
+    for hostile in [u64::MAX, u64::from(u32::MAX) + 1, usize::MAX as u64] {
+        for base in [&v1, &v2] {
+            let mut corrupt = base.clone();
+            corrupt[10..18].copy_from_slice(&hostile.to_le_bytes());
+            assert!(
+                container::unpack(&corrupt).is_err(),
+                "element count {hostile:#x} must be rejected"
+            );
+        }
+    }
+    // Index lengths: u32::MAX and just past the real blob. Both must be
+    // caught by the bounds check against the file's actual size.
+    for hostile in [u32::MAX, meta.index_bytes as u32 + 1] {
+        let mut corrupt = v2.clone();
+        corrupt[26..30].copy_from_slice(&hostile.to_le_bytes());
+        assert!(
+            container::unpack(&corrupt).is_err(),
+            "index length {hostile:#x} must be rejected"
+        );
+    }
+}
+
 proptest! {
     #[test]
     fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..600)) {

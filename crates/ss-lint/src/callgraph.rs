@@ -50,6 +50,11 @@ pub const ENTRY_POINTS: &[&str] = &[
     "ModelStore::verify",
     // Accelerator simulator inner loop.
     "simulate",
+    // Serve request handling: admission control, the worker dispatch
+    // loop, and the per-connection SSRP framing path.
+    "ServeHandle::submit_with_id",
+    "worker_main",
+    "run_connection",
 ];
 
 /// The analysis context handed to every rule alongside the raw

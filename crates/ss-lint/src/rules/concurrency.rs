@@ -5,7 +5,10 @@
 //! that keep parallel output bit-identical to the sequential oracle are
 //! argued once, in `crates/ss-core/src/par.rs`. The `ss-pipeline` batch
 //! engine adds a second, equally self-contained concurrency argument: its
-//! bounded queue and worker pool. Scattered `thread::spawn` or ad-hoc
+//! bounded queue and worker pool. The `ss-serve` service and TCP server
+//! are the third and fourth: a worker pool draining the pipeline queue,
+//! and reader/writer thread pairs per connection, each argued once in
+//! its module docs. Scattered `thread::spawn` or ad-hoc
 //! locks elsewhere would re-open those arguments file by file — so
 //! everywhere else, spawning (`thread::spawn`, `thread::scope`) and
 //! blocking synchronization (`Mutex`, `RwLock`, `Condvar`) are forbidden.
@@ -18,12 +21,17 @@ use crate::diag::Diagnostic;
 use crate::workspace::{FileKind, Workspace};
 
 /// The modules allowed to spawn threads and take locks: the chunk-level
-/// parallelism substrate, and the `ss-pipeline` queue + worker pool
-/// (whose blocking backpressure is the crate's whole point).
+/// parallelism substrate, the `ss-pipeline` queue + worker pool (whose
+/// blocking backpressure is the crate's whole point), and the two
+/// `ss-serve` layers — the worker-pool service and the per-connection
+/// reader/writer threads of the TCP server — whose spawn/join
+/// lifecycles are argued in their module docs.
 pub const CONTAINMENT: &[&str] = &[
     "crates/ss-core/src/par.rs",
     "crates/ss-pipeline/src/queue.rs",
     "crates/ss-pipeline/src/engine.rs",
+    "crates/ss-serve/src/service.rs",
+    "crates/ss-serve/src/server.rs",
 ];
 
 const PATTERNS: &[&str] = &[

@@ -47,6 +47,7 @@ mod report;
 
 pub use engine::Pipeline;
 pub use error::PipelineError;
+pub use queue::{BoundedQueue, TryPushError};
 pub use report::{fnv1a_64, BatchReport};
 
 /// How a [`Pipeline`] runs: codec settings, pool size, queue bound, and

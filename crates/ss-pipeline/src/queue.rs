@@ -29,6 +29,27 @@ pub struct BoundedQueue<T> {
     capacity: usize,
 }
 
+/// Why a [`BoundedQueue::try_push`] was refused. Both arms hand the item
+/// back so the caller can reply to its originator instead of losing it —
+/// the admission-control contract `ss-serve` builds its typed
+/// `Overloaded` rejection on.
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity; admitting the item would have blocked.
+    Full(T),
+    /// The queue is closed; the item can never be admitted.
+    Closed(T),
+}
+
+impl<T> TryPushError<T> {
+    /// The refused item, regardless of the reason.
+    pub fn into_item(self) -> T {
+        match self {
+            TryPushError::Full(item) | TryPushError::Closed(item) => item,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Inner<T> {
     items: VecDeque<T>,
@@ -80,6 +101,32 @@ impl<T> BoundedQueue<T> {
         true
     }
 
+    /// Non-blocking admission: enqueues `item` only if there is room
+    /// right now. This is the backpressure *rejection* hook — where
+    /// [`BoundedQueue::push`] converts overload into producer blocking,
+    /// `try_push` converts it into a typed [`TryPushError::Full`] that
+    /// hands the item back, so a service can answer `Overloaded` instead
+    /// of hanging a client.
+    ///
+    /// # Errors
+    ///
+    /// [`TryPushError::Full`] when at capacity, [`TryPushError::Closed`]
+    /// after [`BoundedQueue::close`]; both return the item.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        inner.items.push_back(item);
+        inner.high_water = inner.high_water.max(inner.items.len());
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Blocks until an item is available and dequeues it. Returns `None`
     /// once the queue is closed **and** drained — the consumer's signal
     /// that no more work will ever arrive.
@@ -111,6 +158,27 @@ impl<T> BoundedQueue<T> {
         drop(inner);
         self.not_empty.notify_all();
         self.not_full.notify_all();
+    }
+
+    /// Items currently queued (a point-in-time gauge; another thread may
+    /// change it before the caller acts on the answer).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// `true` when the queue holds no items right now.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` once [`BoundedQueue::close`] has been called. Pending items
+    /// remain poppable after close — this only reports that no *new*
+    /// item will ever be admitted.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
     }
 
     /// Deepest occupancy ever observed — the backpressure gauge reported
@@ -153,6 +221,31 @@ mod tests {
         assert_eq!(q.pop(), Some(7), "pending items survive close");
         assert_eq!(q.pop(), None);
         assert_eq!(q.pop(), None, "closed+empty stays terminal");
+    }
+
+    #[test]
+    fn try_push_rejects_instead_of_blocking() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err(TryPushError::Full(item)) => assert_eq!(item, 3, "item handed back"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "room reopened by the pop");
+        q.close();
+        assert!(q.is_closed());
+        match q.try_push(4) {
+            Err(TryPushError::Closed(item)) => assert_eq!(item, 4),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // Pending items survive close and drain in order.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -12,7 +12,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
-use crate::metric::{Counter, WidthCounts, WidthHist, WIDTH_BUCKETS};
+use crate::metric::{
+    Counter, LatencyCounts, LatencyHist, WidthCounts, WidthHist, LATENCY_BUCKETS, WIDTH_BUCKETS,
+};
 use crate::recorder::{LayerRecord, Recorder, SpanEvent};
 
 /// Default capacity of the layer-record buffer (25 experiments × ~100
@@ -68,6 +70,7 @@ pub struct TraceRecorder {
     epoch: Instant,
     counters: [AtomicU64; Counter::COUNT],
     hists: [[AtomicU64; WIDTH_BUCKETS]; WidthHist::COUNT],
+    latencies: [[AtomicU64; LATENCY_BUCKETS]; LatencyHist::COUNT],
     layers: SlotBuffer<LayerRecord>,
     spans: SlotBuffer<SpanEvent>,
 }
@@ -87,6 +90,7 @@ impl TraceRecorder {
             epoch: Instant::now(),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             hists: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            latencies: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
             layers: SlotBuffer::new(layer_capacity),
             spans: SlotBuffer::new(span_capacity),
         }
@@ -113,12 +117,28 @@ impl TraceRecorder {
         out
     }
 
+    /// Current contents of one latency histogram.
+    #[must_use]
+    pub fn latency(&self, hist: LatencyHist) -> LatencyCounts {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        if let Some(row) = self.latencies.get(hist.index()) {
+            for (out, bucket) in buckets.iter_mut().zip(row.iter()) {
+                *out = bucket.load(Ordering::Relaxed);
+            }
+        }
+        LatencyCounts::from(buckets)
+    }
+
     /// Immutable copy of everything recorded so far.
     #[must_use]
     pub fn snapshot(&self) -> TraceSnapshot {
         TraceSnapshot {
             counters: Counter::ALL.iter().map(|&c| (c, self.counter(c))).collect(),
             hists: WidthHist::ALL.iter().map(|&h| (h, self.hist(h))).collect(),
+            latencies: LatencyHist::ALL
+                .iter()
+                .map(|&h| (h, self.latency(h)))
+                .collect(),
             layers: self.layers.collect(),
             spans: self.spans.collect(),
         }
@@ -152,6 +172,16 @@ impl Recorder for TraceRecorder {
         }
     }
 
+    fn record_latency(&self, hist: LatencyHist, nanos: u64) {
+        if let Some(bucket) = self
+            .latencies
+            .get(hist.index())
+            .and_then(|row| row.get(LatencyCounts::bucket_of(nanos)))
+        {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     fn record_layer(&self, record: LayerRecord) {
         if !self.layers.push(record) {
             self.add(Counter::TraceLayersDropped, 1);
@@ -176,6 +206,8 @@ pub struct TraceSnapshot {
     pub counters: Vec<(Counter, u64)>,
     /// Every width histogram with its contents.
     pub hists: Vec<(WidthHist, WidthCounts)>,
+    /// Every latency histogram with its contents.
+    pub latencies: Vec<(LatencyHist, LatencyCounts)>,
     /// Per-layer simulation records, in submission order.
     pub layers: Vec<LayerRecord>,
     /// Completed spans, in submission order.
@@ -190,6 +222,16 @@ impl TraceSnapshot {
             .iter()
             .find(|(c, _)| *c == counter)
             .map_or(0, |&(_, v)| v)
+    }
+
+    /// Contents of one latency histogram in this snapshot (empty when
+    /// never observed).
+    #[must_use]
+    pub fn latency(&self, hist: LatencyHist) -> LatencyCounts {
+        self.latencies
+            .iter()
+            .find(|(h, _)| *h == hist)
+            .map_or_else(LatencyCounts::new, |(_, counts)| counts.clone())
     }
 }
 
@@ -255,6 +297,38 @@ mod tests {
         assert_eq!(snap.spans.len(), 32);
         assert_eq!(rec.hist(WidthHist::TileStepWidth).total(), 32);
         assert_eq!(snap.counter(Counter::TraceSpansDropped), 0);
+    }
+
+    #[test]
+    fn latency_histogram_accumulates_concurrently() {
+        let rec = TraceRecorder::with_capacity(4, 4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rec = &rec;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        rec.record_latency(LatencyHist::ServeEncodeNanos, 1_000 + i);
+                    }
+                    rec.record_latency(LatencyHist::ServeEncodeNanos, 50_000_000);
+                });
+            }
+        });
+        let h = rec.latency(LatencyHist::ServeEncodeNanos);
+        assert_eq!(h.total(), 404);
+        // 400 of 404 observations are ~1µs; p50 lands in their bucket.
+        assert_eq!(
+            h.p50(),
+            Some(LatencyCounts::bucket_upper(LatencyCounts::bucket_of(1_099)))
+        );
+        assert_eq!(
+            h.p999(),
+            Some(LatencyCounts::bucket_upper(LatencyCounts::bucket_of(
+                50_000_000
+            )))
+        );
+        let snap = rec.snapshot();
+        assert_eq!(snap.latency(LatencyHist::ServeEncodeNanos), h);
+        assert!(snap.latency(LatencyHist::ServeGetNanos).is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   `chrome://tracing` / Perfetto (`ph:"X"` complete events).
 
 use crate::collect::TraceSnapshot;
-use crate::metric::WidthCounts;
+use crate::metric::{LatencyCounts, WidthCounts};
 use crate::recorder::{LayerRecord, SpanEvent};
 
 /// Schema identifier stamped into the analysis document.
@@ -44,6 +44,25 @@ fn push_hist(out: &mut String, counts: &WidthCounts) {
         out.push_str(&n.to_string());
     }
     out.push(']');
+}
+
+/// Emits a latency histogram as its summary percentiles plus the raw
+/// log2 buckets (so downstream tooling can recompute any quantile).
+fn push_latency(out: &mut String, counts: &LatencyCounts) {
+    out.push_str(&format!(
+        "{{\"total\":{},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"log2_buckets\":[",
+        counts.total(),
+        counts.p50().map_or("null".into(), |v| v.to_string()),
+        counts.p99().map_or("null".into(), |v| v.to_string()),
+        counts.p999().map_or("null".into(), |v| v.to_string()),
+    ));
+    for (i, n) in counts.buckets().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&n.to_string());
+    }
+    out.push_str("]}");
 }
 
 fn push_f64(out: &mut String, v: f64) {
@@ -111,6 +130,14 @@ impl TraceSnapshot {
             }
             out.push_str(&format!("\n    \"{}\": ", h.name()));
             push_hist(&mut out, counts);
+        }
+        out.push_str("\n  },\n  \"latency_hists\": {");
+        for (i, (h, counts)) in self.latencies.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": ", h.name()));
+            push_latency(&mut out, counts);
         }
         out.push_str("\n  },\n  \"layers\": [");
         for (i, l) in self.layers.iter().enumerate() {
@@ -312,6 +339,7 @@ mod tests {
     fn populated_snapshot() -> TraceSnapshot {
         let rec = TraceRecorder::with_capacity(8, 8);
         rec.add(Counter::EncodeBits, 42);
+        rec.record_latency(crate::metric::LatencyHist::ServeEncodeNanos, 12_345);
         let mut w = WidthCounts::new();
         w.observe(7, 3);
         rec.record_widths(WidthHist::CodecGroupWidth, &w);
@@ -348,6 +376,8 @@ mod tests {
         assert!(json.contains("\"schema\": \"ss-trace/1\""));
         assert!(json.contains("\"encode_bits\": 42"));
         assert!(json.contains("\"codec_group_width\""));
+        assert!(json.contains("\"serve_encode_nanos\""));
+        assert!(json.contains("\"p999_ns\""));
         assert!(json.contains("\"stall_cycles\":50"));
         assert!(json.contains("\\\"Shifter\\\\"));
     }

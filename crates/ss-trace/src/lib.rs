@@ -48,7 +48,9 @@ mod recorder;
 
 pub use collect::{TraceRecorder, TraceSnapshot, DEFAULT_LAYER_CAPACITY, DEFAULT_SPAN_CAPACITY};
 pub use json::{escape, SCHEMA};
-pub use metric::{Counter, WidthCounts, WidthHist, WIDTH_BUCKETS};
+pub use metric::{
+    Counter, LatencyCounts, LatencyHist, WidthCounts, WidthHist, LATENCY_BUCKETS, WIDTH_BUCKETS,
+};
 pub use recorder::{LayerRecord, NoopRecorder, Recorder, Span, SpanEvent};
 
 use std::sync::OnceLock;

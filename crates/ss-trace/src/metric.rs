@@ -134,6 +134,42 @@ metric_enum! {
         /// the partial-read guarantee: one `get` reads one record block,
         /// not the shard.
         StorePayloadBytesRead => "store_payload_bytes_read",
+        /// Requests admitted into the `ss-serve` submission queue.
+        ServeRequests => "serve_requests",
+        /// Requests completed with an `Ok` status response.
+        ServeResponsesOk => "serve_responses_ok",
+        /// Requests completed with a typed error status response.
+        ServeResponsesErr => "serve_responses_err",
+        /// Submissions rejected with `Overloaded` (queue at capacity).
+        ServeOverloaded => "serve_overloaded",
+        /// Submissions rejected because the service was draining.
+        ServeRejectedDraining => "serve_rejected_draining",
+        /// Malformed SSRP frames rejected at the protocol layer.
+        ServeProtocolErrors => "serve_protocol_errors",
+        /// SSRP request body bytes received.
+        ServeBytesIn => "serve_bytes_in",
+        /// SSRP response body bytes sent.
+        ServeBytesOut => "serve_bytes_out",
+        /// TCP connections accepted by the `ss-serve` listener.
+        ServeConnections => "serve_connections",
+        /// Queued requests flushed to completion during a graceful drain.
+        ServeDrainedInFlight => "serve_drained_in_flight",
+    }
+}
+
+metric_enum! {
+    /// A histogram over operation latencies (log2 nanosecond buckets).
+    LatencyHist {
+        /// End-to-end handling latency of `ss-serve` encode requests.
+        ServeEncodeNanos => "serve_encode_nanos",
+        /// End-to-end handling latency of `ss-serve` decode requests.
+        ServeDecodeNanos => "serve_decode_nanos",
+        /// End-to-end handling latency of `ss-serve` store-get requests.
+        ServeGetNanos => "serve_get_nanos",
+        /// End-to-end handling latency of `ss-serve` stats requests.
+        ServeStatsNanos => "serve_stats_nanos",
+        /// End-to-end handling latency of `ss-serve` health/drain requests.
+        ServeControlNanos => "serve_control_nanos",
     }
 }
 
@@ -230,6 +266,135 @@ impl From<[u64; WIDTH_BUCKETS]> for WidthCounts {
     }
 }
 
+/// Latency histogram bucket count: bucket `i` holds observations whose
+/// nanosecond value has `floor(log2(n)) == i` (0 ns lands in bucket 0),
+/// so 64 buckets cover the entire `u64` range with ≤ 2× resolution —
+/// enough to read p50/p99/p999 off a service without storing samples.
+pub const LATENCY_BUCKETS: usize = 64;
+
+/// A plain (non-atomic) log2-bucketed latency histogram: the local
+/// accumulator for percentile accounting, and the snapshot form of the
+/// collecting recorder's atomic rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyCounts {
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyCounts {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+
+    /// Bucket index for a nanosecond observation.
+    #[must_use]
+    pub fn bucket_of(nanos: u64) -> usize {
+        // floor(log2(n)) for n >= 1; 0 maps to bucket 0. Max index is
+        // 63 for n = u64::MAX, which is LATENCY_BUCKETS - 1.
+        (63 - nanos.max(1).leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound (in nanoseconds) of a bucket — the value
+    /// percentile queries report.
+    #[must_use]
+    pub fn bucket_upper(index: usize) -> u64 {
+        if index >= LATENCY_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (2u64 << index) - 1
+        }
+    }
+
+    /// Adds `n` observations of `nanos`.
+    pub fn observe(&mut self, nanos: u64, n: u64) {
+        if let Some(bucket) = self.buckets.get_mut(Self::bucket_of(nanos)) {
+            *bucket += n;
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyCounts) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// The buckets, index = `floor(log2(nanos))`.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// `true` when nothing was observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// The smallest bucket upper bound covering quantile `q` (0.0–1.0)
+    /// of the observations, in nanoseconds; `None` when empty. The
+    /// log2 buckets bound the answer within 2× of the true quantile.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based; q = 0 maps to the
+        // first observation, q = 1 to the last.
+        // ss-lint: allow(determinism) -- quantile rank over a live latency histogram; percentiles feed observability bodies (stats op, timings JSON) that deterministic artifacts exclude
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::bucket_upper(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// p50 in nanoseconds (`None` when empty).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// p99 in nanoseconds (`None` when empty).
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// p999 in nanoseconds (`None` when empty).
+    #[must_use]
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+}
+
+impl Default for LatencyCounts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<[u64; LATENCY_BUCKETS]> for LatencyCounts {
+    fn from(buckets: [u64; LATENCY_BUCKETS]) -> Self {
+        Self { buckets }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +428,51 @@ mod tests {
             Counter::for_scheme("Delta-ShapeShifter"),
             Counter::SchemeOtherBits
         );
+    }
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        assert_eq!(LatencyCounts::bucket_of(0), 0);
+        assert_eq!(LatencyCounts::bucket_of(1), 0);
+        assert_eq!(LatencyCounts::bucket_of(2), 1);
+        assert_eq!(LatencyCounts::bucket_of(3), 1);
+        assert_eq!(LatencyCounts::bucket_of(1024), 10);
+        assert_eq!(LatencyCounts::bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+        assert_eq!(LatencyCounts::bucket_upper(0), 1);
+        assert_eq!(LatencyCounts::bucket_upper(1), 3);
+        assert_eq!(LatencyCounts::bucket_upper(10), 2047);
+        assert_eq!(LatencyCounts::bucket_upper(63), u64::MAX);
+        // Every value sits within its bucket's range.
+        for n in [0u64, 1, 2, 5, 1000, 123_456_789] {
+            let b = LatencyCounts::bucket_of(n);
+            assert!(n <= LatencyCounts::bucket_upper(b));
+            if b > 0 {
+                assert!(n > LatencyCounts::bucket_upper(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn latency_quantiles_walk_the_cumulative_counts() {
+        let mut h = LatencyCounts::new();
+        assert_eq!(h.quantile(0.5), None);
+        // 90 fast observations (~1µs), 9 slow (~1ms), 1 very slow (~1s).
+        h.observe(1_000, 90);
+        h.observe(1_000_000, 9);
+        h.observe(1_000_000_000, 1);
+        assert_eq!(h.total(), 100);
+        let fast = LatencyCounts::bucket_upper(LatencyCounts::bucket_of(1_000));
+        let slow = LatencyCounts::bucket_upper(LatencyCounts::bucket_of(1_000_000));
+        let worst = LatencyCounts::bucket_upper(LatencyCounts::bucket_of(1_000_000_000));
+        assert_eq!(h.p50(), Some(fast));
+        assert_eq!(h.p99(), Some(slow));
+        assert_eq!(h.p999(), Some(worst));
+        assert_eq!(h.quantile(1.0), Some(worst));
+        assert_eq!(h.quantile(0.0), Some(fast));
+        let mut other = LatencyCounts::new();
+        other.observe(1_000, 10);
+        h.merge(&other);
+        assert_eq!(h.total(), 110);
     }
 
     #[test]

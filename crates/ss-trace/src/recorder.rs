@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use crate::metric::{Counter, WidthCounts, WidthHist};
+use crate::metric::{Counter, LatencyHist, WidthCounts, WidthHist};
 
 /// Per-layer simulation record: everything the paper's evaluation figures
 /// derive from one layer, captured at simulation time.
@@ -80,6 +80,11 @@ pub trait Recorder: Sync {
     /// Merges a locally-accumulated width histogram.
     fn record_widths(&self, hist: WidthHist, counts: &WidthCounts) {
         let _ = (hist, counts);
+    }
+
+    /// Adds one latency observation (in nanoseconds) to a histogram.
+    fn record_latency(&self, hist: LatencyHist, nanos: u64) {
+        let _ = (hist, nanos);
     }
 
     /// Submits one simulated layer's record.

@@ -118,6 +118,31 @@ for gate in roundtrip_bit_identical single_get_reads_one_block verify_pass; do
 done
 echo "ok: store deterministic fields reproduce byte-for-byte across SS_THREADS"
 
+echo
+echo "== BENCH_serve determinism gate (two runs, different SS_THREADS) =="
+# The serve replay's deterministic half must be byte-identical across
+# runs AND worker counts: the arrival schedule, response hashes (chained
+# in submission order) and gate verdicts may depend on nothing but the
+# pinned seed. Any diff means worker scheduling or wall-clock state
+# leaked into the replay results.
+tmp5="$(mktemp)" tmp6="$(mktemp)"
+trap 'rm -f "$tmp1" "$tmp2" "$tmp3" "$tmp4" "$tmp5" "$tmp6"' EXIT
+SS_THREADS=1 SS_BENCH_SERVE_OUT="$tmp5" \
+    cargo run --release -q -p ss-bench --bin serve_replay -- --smoke >/dev/null
+SS_THREADS=8 SS_BENCH_SERVE_OUT="$tmp6" \
+    cargo run --release -q -p ss-bench --bin serve_replay -- --smoke >/dev/null
+if ! diff -u "$tmp5" "$tmp6"; then
+    echo "FAIL: BENCH_serve deterministic fields differ across runs/SS_THREADS" >&2
+    exit 1
+fi
+for gate in responses_all_ok overload_typed drain_zero_loss stats_schema_ok tcp_roundtrip_ok; do
+    grep -q "\"$gate\": true" "$tmp5" || {
+        echo "FAIL: serve gate $gate did not pass" >&2
+        exit 1
+    }
+done
+echo "ok: serve deterministic fields reproduce byte-for-byte across SS_THREADS"
+
 if [ "$UPDATE_TIMINGS" = 1 ]; then
     echo
     echo "== perf regression gate (t1 encode/decode vs committed timings) =="

@@ -54,6 +54,18 @@ echo "== shard store (corruption suite + roundtrip gates) =="
 cargo test -q -p ss-store --test shard_corruption --test zoo_roundtrip
 cargo run --release -q -p ss-bench --bin store_roundtrip -- --smoke
 
+# Serve conformance: the SSRP protocol fuzz suite (every single-bit flip
+# and truncation is a typed error, a flipped op byte never dispatches as
+# another op), the fault-injection suite (client disconnects, typed
+# overload, drain semantics, multi-client soak across worker counts),
+# the bounded-queue close/drain stress test, and the traffic-replay
+# smoke with its completion / FIFO / overload / drain gates.
+echo
+echo "== serve (protocol fuzz + fault injection + queue shutdown + replay smoke) =="
+cargo test -q -p ss-serve --test protocol_fuzz --test service_faults
+cargo test -q -p ss-pipeline --test queue_shutdown
+cargo run --release -q -p ss-bench --bin serve_replay -- --smoke
+
 echo
 echo "== perf baseline (informational) =="
 cargo run --release -q -p ss-bench --bin perf_baseline

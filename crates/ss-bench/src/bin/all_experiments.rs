@@ -67,6 +67,9 @@ fn main() -> io::Result<()> {
         }),
         ("Extension: Tartan", "ext_tartan", |o| figs::ext_tartan::run(o)),
         ("Extension: Delta", "ext_delta", |o| figs::ext_delta::run(o)),
+        ("Extension: Schemes x quantizers", "ext_schemes_quant", |o| {
+            figs::ext_schemes_quant::run(o)
+        }),
         ("Extension: On-chip buffers", "ext_onchip", |o| {
             figs::ext_onchip::run(o)
         }),

@@ -10,6 +10,7 @@ pub mod ablation_tile_validation;
 pub mod ext_delta;
 pub mod ext_energy;
 pub mod ext_onchip;
+pub mod ext_schemes_quant;
 pub mod ext_tartan;
 pub mod fig01_act_cdf;
 pub mod fig02_wgt_cdf;

@@ -71,6 +71,20 @@ pub enum CodecError {
         /// Bits the chunk's groups actually consumed.
         consumed_bits: u64,
     },
+    /// A container names a scheme wire id that no registered
+    /// [`crate::registry::ContainerScheme`] claims. Carries the offending
+    /// byte so callers can report exactly what the stream asked for.
+    UnknownScheme {
+        /// The unrecognized wire id byte.
+        id: u8,
+    },
+    /// Two schemes were registered under the same wire id. Wire ids are
+    /// forever (they are written into container headers), so a collision
+    /// is a configuration bug surfaced at registration, never at decode.
+    DuplicateScheme {
+        /// The contested wire id byte.
+        id: u8,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -113,6 +127,12 @@ impl fmt::Display for CodecError {
                 f,
                 "indexed chunk {chunk} consumed {consumed_bits} bit(s) of its {expected_bits}-bit span"
             ),
+            CodecError::UnknownScheme { id } => {
+                write!(f, "unknown container scheme wire id {id}")
+            }
+            CodecError::DuplicateScheme { id } => {
+                write!(f, "scheme wire id {id} registered twice")
+            }
         }
     }
 }
@@ -148,5 +168,12 @@ mod tests {
         let e = CodecError::from(BitIoError::FieldTooWide { bits: 99 });
         assert!(e.source().is_some());
         assert!(e.to_string().contains("bit stream"));
+    }
+
+    #[test]
+    fn scheme_errors_carry_the_id() {
+        assert!(CodecError::UnknownScheme { id: 7 }.to_string().contains('7'));
+        assert!(CodecError::DuplicateScheme { id: 1 }.to_string().contains('1'));
+        assert!(CodecError::UnknownScheme { id: 7 }.source().is_none());
     }
 }

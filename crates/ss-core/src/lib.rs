@@ -20,8 +20,14 @@
 //!   decode sequentially, unchanged.
 //! * [`scheme`] — the off-chip compression schemes compared throughout the
 //!   evaluation: no compression, per-layer Profile (Proteus), ShapeShifter,
-//!   Eyeriss/SCNN-style zero run-length encoding, and the outlier-aware
-//!   storage formats of Figure 16. All report exact bit counts.
+//!   Eyeriss/SCNN-style zero run-length encoding, the outlier-aware
+//!   storage formats of Figure 16, plus the DPRed per-group precision and
+//!   AdaBits bit-plane schemes from the related work. All report exact
+//!   bit counts.
+//! * [`registry`] — the container-scheme plug-in registry: the
+//!   [`ContainerScheme`] trait (stable wire ids, encode/decode over the
+//!   shared bit-stream machinery, fingerprint hook) and the
+//!   [`SchemeRegistry`] that resolves wire ids at unpack time.
 //! * [`decompressor`] — the two-level (L1D/L2D) streaming decompressor of
 //!   Figure 6d as a cycle-approximate model, used to check the decoder
 //!   keeps up with the DDR4 stream.
@@ -60,6 +66,7 @@ mod error;
 pub mod index;
 pub mod kernels;
 pub mod par;
+pub mod registry;
 pub mod scheme;
 mod session;
 
@@ -68,7 +75,8 @@ pub use config::{CodecConfig, ExecPolicy, MeasureReport};
 pub use detector::WidthDetector;
 pub use error::CodecError;
 pub use index::{ChunkEntry, ChunkIndex};
-pub use session::CodecSession;
+pub use registry::{ContainerScheme, SchemeId, SchemeRegistry, StreamFrame};
+pub use session::{CodecSession, SchemeStream};
 
 /// The blessed public surface, re-exported for glob import.
 ///
@@ -86,5 +94,6 @@ pub mod prelude {
     pub use crate::codec::{EncodedTensor, IndexPolicy, ShapeShifterCodec};
     pub use crate::config::{CodecConfig, ExecPolicy, MeasureReport};
     pub use crate::error::CodecError;
-    pub use crate::session::CodecSession;
+    pub use crate::registry::{ContainerScheme, SchemeId, SchemeRegistry, StreamFrame};
+    pub use crate::session::{CodecSession, SchemeStream};
 }

@@ -91,9 +91,26 @@ impl DeltaShapeShifter {
     /// Propagates internal bit-packing failures (unreachable for valid
     /// tensors).
     pub fn encode(&self, tensor: &Tensor) -> Result<(Vec<u8>, u64), CodecError> {
+        let mut w = BitWriter::new();
+        self.encode_into(tensor, &mut w)?;
+        Ok((w.as_bytes().to_vec(), w.bit_len()))
+    }
+
+    /// Appends `tensor`'s delta stream to an existing writer — the
+    /// registry/session path, bit-identical to
+    /// [`DeltaShapeShifter::encode`] (which is a thin wrapper over it).
+    ///
+    /// The writer is *not* cleared: the caller owns framing. Returns the
+    /// bits this call appended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates internal bit-packing failures (unreachable for valid
+    /// tensors).
+    pub fn encode_into(&self, tensor: &Tensor, w: &mut BitWriter) -> Result<u64, CodecError> {
         let prefix_bits = Self::prefix_bits(tensor.dtype().bits());
         let container = u32::from(tensor.dtype().bits()) + 1; // sign-magnitude slot
-        let mut w = BitWriter::new();
+        let start = w.bit_len();
         for group in tensor.groups(self.group_size)? {
             let deltas = Self::deltas(group);
             // Z: position 0 marks a zero first value, positions 1.. mark
@@ -121,7 +138,7 @@ impl DeltaShapeShifter {
                 w.write_bits(u64::from(width::to_sign_magnitude(d)), u32::from(p))?;
             }
         }
-        Ok((w.as_bytes().to_vec(), w.bit_len()))
+        Ok(w.bit_len() - start)
     }
 
     /// Decodes a delta stream produced by [`DeltaShapeShifter::encode`].
@@ -138,6 +155,28 @@ impl DeltaShapeShifter {
         dtype: ss_tensor::FixedType,
         len: usize,
     ) -> Result<Vec<i32>, CodecError> {
+        let mut out: Vec<i32> = Vec::new();
+        self.decode_into(bytes, bit_len, dtype, len, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes a delta stream into a caller-owned buffer (cleared first) —
+    /// the body behind [`DeltaShapeShifter::decode`] and the
+    /// registry/session path, so scratch reuse and the one-shot API decode
+    /// identically by construction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DeltaShapeShifter::decode`].
+    pub fn decode_into(
+        &self,
+        bytes: &[u8],
+        bit_len: u64,
+        dtype: ss_tensor::FixedType,
+        len: usize,
+        out: &mut Vec<i32>,
+    ) -> Result<(), CodecError> {
+        out.clear();
         let prefix_bits = Self::prefix_bits(dtype.bits());
         let container = u32::from(dtype.bits()) + 1;
         if bit_len > bytes.len() as u64 * 8 || len as u64 > bit_len {
@@ -149,7 +188,7 @@ impl DeltaShapeShifter {
             }));
         }
         let mut r = BitReader::with_bit_len(bytes, bit_len);
-        let mut out: Vec<i32> = Vec::with_capacity(len);
+        out.reserve(len);
         while out.len() < len {
             let group_len = (len - out.len()).min(self.group_size);
             let mut zbits: Vec<bool> = Vec::with_capacity(group_len);
@@ -189,7 +228,7 @@ impl DeltaShapeShifter {
                 prev = v;
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 

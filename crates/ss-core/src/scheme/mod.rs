@@ -11,14 +11,23 @@
 //! * [`ZeroRle`] — Eyeriss/SCNN-style zero run-length encoding.
 //! * [`outlier_aware_bits`] / [`outlier_aware_zs_bits`] — the
 //!   outlier-aware storage formats of Figure 16.
+//! * [`DpRed`] — DPRed per-group precision storage (arXiv:1804.06732):
+//!   every value kept, priced at its group's width.
+//! * [`AdaBitsScheme`] — AdaBits MSB-first bit-plane storage
+//!   (arXiv:1912.09666) whose width-`w` serving variants are stream
+//!   prefixes.
 
+mod adabits;
 mod delta;
+mod dpred;
 mod outlier_store;
 mod profile;
 mod shapeshifter;
 mod zero_rle;
 
+pub use adabits::AdaBitsScheme;
 pub use delta::DeltaShapeShifter;
+pub use dpred::DpRed;
 pub use outlier_store::{outlier_aware_bits, outlier_aware_zs_bits};
 pub use profile::ProfileScheme;
 pub use shapeshifter::ShapeShifterScheme;

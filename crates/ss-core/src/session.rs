@@ -26,11 +26,62 @@
 //! without any session-specific code.
 
 use ss_bitio::BitWriter;
-use ss_tensor::Tensor;
+use ss_tensor::{FixedType, Tensor};
 
 use crate::codec::{EncodedTensor, IndexPolicy, ShapeShifterCodec};
 use crate::index::{ChunkEntry, ChunkIndex};
+use crate::registry::{ContainerScheme, SchemeId, StreamFrame};
 use crate::{checked, CodecConfig, CodecError, ExecPolicy};
+
+/// A scheme-encoded stream plus its framing — the registry-era analogue
+/// of [`EncodedTensor`], produced by [`CodecSession::encode_with_scheme`]
+/// and consumed by [`CodecSession::decode_with_scheme`]. Carries the wire
+/// id so the stream is self-describing for store and serve layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeStream {
+    /// The scheme that produced the stream (its stable wire id).
+    pub scheme: SchemeId,
+    /// The stream bytes.
+    pub bytes: Vec<u8>,
+    /// Exact stream length in bits.
+    pub bit_len: u64,
+    /// Value container type.
+    pub dtype: FixedType,
+    /// Element count.
+    pub len: usize,
+    /// Grouping granularity the stream was encoded at.
+    pub group_size: usize,
+    /// The chunk index, when the scheme participates in indexing and the
+    /// policy produced one.
+    pub index: Option<ChunkIndex>,
+}
+
+impl Default for SchemeStream {
+    fn default() -> Self {
+        Self {
+            scheme: SchemeId::SHAPESHIFTER,
+            bytes: Vec::new(),
+            bit_len: 0,
+            dtype: FixedType::U8,
+            len: 0,
+            group_size: 16,
+            index: None,
+        }
+    }
+}
+
+impl SchemeStream {
+    /// The decode framing for this stream.
+    #[must_use]
+    pub fn frame(&self) -> StreamFrame {
+        StreamFrame {
+            bit_len: self.bit_len,
+            dtype: self.dtype,
+            len: self.len,
+            group_size: self.group_size,
+        }
+    }
+}
 
 /// A reusable encode/decode context: one codec configuration plus the
 /// scratch buffers that the one-shot API would otherwise allocate per
@@ -258,6 +309,79 @@ impl CodecSession {
         // container check in `decode_groups`.
         let scratch = std::mem::take(&mut self.values);
         self.values = out.replace_flat(dtype, scratch)?;
+        Ok(())
+    }
+
+    /// Encodes `tensor` under an arbitrary registered scheme into an
+    /// existing [`SchemeStream`], reusing the session's stream scratch.
+    ///
+    /// The group size is the session's; `out` is fully overwritten. The
+    /// stream bytes are bit-identical to the scheme's one-shot
+    /// `encode_into` by construction (both run on the same writer path).
+    ///
+    /// # Errors
+    ///
+    /// As [`ContainerScheme::encode_into`].
+    pub fn encode_with_scheme(
+        &mut self,
+        scheme: &dyn ContainerScheme,
+        tensor: &Tensor,
+        policy: IndexPolicy,
+        out: &mut SchemeStream,
+    ) -> Result<(), CodecError> {
+        let index = scheme.encode_into(tensor, self.codec.group_size(), policy, &mut self.w)?;
+        out.scheme = scheme.wire_id();
+        out.bytes.clear();
+        out.bytes.extend_from_slice(self.w.as_bytes());
+        out.bit_len = self.w.bit_len();
+        out.dtype = tensor.dtype();
+        out.len = tensor.len();
+        out.group_size = self.codec.group_size();
+        out.index = index;
+        Ok(())
+    }
+
+    /// Decodes a [`SchemeStream`] into an existing tensor, reusing the
+    /// session's value scratch (swapped, not copied). The parse is
+    /// sequential — a chunk index, if the stream carries one, is side
+    /// metadata this path ignores, exactly like
+    /// [`CodecSession::decode_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ContainerScheme::decode_into`].
+    pub fn decode_with_scheme(
+        &mut self,
+        scheme: &dyn ContainerScheme,
+        stream: &SchemeStream,
+        out: &mut Tensor,
+    ) -> Result<(), CodecError> {
+        self.decode_scheme_stream_into(scheme, &stream.bytes, &stream.frame(), out)
+    }
+
+    /// Decodes a raw scheme stream (framing supplied by the caller, e.g.
+    /// parsed from an `SSPK` container header) into an existing tensor —
+    /// the scheme-generic sibling of [`CodecSession::decode_stream_into`],
+    /// shared by the container `unpack_with` path for **every** registered
+    /// scheme.
+    ///
+    /// # Errors
+    ///
+    /// As [`ContainerScheme::decode_into`].
+    pub fn decode_scheme_stream_into(
+        &mut self,
+        scheme: &dyn ContainerScheme,
+        stream: &[u8],
+        frame: &StreamFrame,
+        out: &mut Tensor,
+    ) -> Result<(), CodecError> {
+        scheme.decode_into(stream, frame, None, 1, &mut self.values)?;
+        // Swap the decoded buffer into the tensor and keep its previous
+        // storage as the next call's scratch, exactly as
+        // `decode_stream_into` does. The range re-validation cannot fail:
+        // every scheme's decode checked each value against the container.
+        let scratch = std::mem::take(&mut self.values);
+        self.values = out.replace_flat(frame.dtype, scratch)?;
         Ok(())
     }
 

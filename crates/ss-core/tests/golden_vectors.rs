@@ -30,7 +30,10 @@
 
 use std::path::PathBuf;
 
-use ss_core::{ChunkIndex, CodecSession, IndexPolicy, ShapeShifterCodec};
+use ss_core::{
+    ChunkIndex, CodecSession, IndexPolicy, SchemeId, SchemeRegistry, SchemeStream,
+    ShapeShifterCodec,
+};
 use ss_tensor::{FixedType, Shape, Signedness, Tensor};
 
 /// One pinned conformance case.
@@ -106,6 +109,79 @@ const CASES: &[GoldenCase] = &[
         stream_hash: 0x2bd6_598b_b5ce_8209,
         bit_len: 3449,
         index_hash: 0x0cf3_bb4f_6ee7_b06c,
+    },
+];
+
+/// One pinned plug-in scheme case, encoded through the registry
+/// ([`CodecSession::encode_with_scheme`]). Stream artifacts only — none
+/// of the pinned schemes emit a chunk index.
+struct SchemeGoldenCase {
+    name: &'static str,
+    scheme: SchemeId,
+    seed: u64,
+    len: usize,
+    dtype: FixedType,
+    group: usize,
+    /// FNV-1a 64 of the stream bytes.
+    stream_hash: u64,
+    /// Exact stream length in bits.
+    bit_len: u64,
+}
+
+/// The pinned scheme corpus: the non-default built-in registrations
+/// (Delta, wire id 1; DPRed, id 2; AdaBits, id 3) across both
+/// signednesses. ShapeShifter (id 0) is pinned by [`CASES`] above — the
+/// registry path is asserted byte-identical to it elsewhere.
+const SCHEME_CASES: &[SchemeGoldenCase] = &[
+    SchemeGoldenCase {
+        name: "scheme1_delta_i16_g16",
+        scheme: SchemeId::DELTA,
+        seed: 0x5353_0101,
+        len: 1000,
+        dtype: FixedType::I16,
+        group: 16,
+        stream_hash: 0x6d30_e683_eca9_b87b,
+        bit_len: 14540,
+    },
+    SchemeGoldenCase {
+        name: "scheme2_dpred_i16_g16",
+        scheme: SchemeId::DPRED,
+        seed: 0x5353_0102,
+        len: 1000,
+        dtype: FixedType::I16,
+        group: 16,
+        stream_hash: 0xfd4d_5f60_d4ae_86e5,
+        bit_len: 15948,
+    },
+    SchemeGoldenCase {
+        name: "scheme2_dpred_u8_g64",
+        scheme: SchemeId::DPRED,
+        seed: 0x5353_0103,
+        len: 333,
+        dtype: FixedType::U8,
+        group: 64,
+        stream_hash: 0xa39a_7e2d_8c45_f336,
+        bit_len: 2682,
+    },
+    SchemeGoldenCase {
+        name: "scheme3_adabits_i16_g16",
+        scheme: SchemeId::ADABITS,
+        seed: 0x5353_0104,
+        len: 1000,
+        dtype: FixedType::I16,
+        group: 16,
+        stream_hash: 0x3ced_6ac3_3a83_fb15,
+        bit_len: 15892,
+    },
+    SchemeGoldenCase {
+        name: "scheme3_adabits_u8_g64",
+        scheme: SchemeId::ADABITS,
+        seed: 0x5353_0105,
+        len: 333,
+        dtype: FixedType::U8,
+        group: 64,
+        stream_hash: 0x4ad7_808f_77a5_594d,
+        bit_len: 2682,
     },
 ];
 
@@ -334,6 +410,71 @@ fn golden_vectors_round_trip_through_session() {
 }
 
 #[test]
+fn scheme_golden_vectors_conform() {
+    // The plug-in schemes' wire formats are pinned exactly like the
+    // default container's: today's `encode_with_scheme` reproduces each
+    // checked-in stream byte-for-byte, the source constants agree with
+    // the files, and the file bytes decode back to the file values
+    // through a session reused across the whole corpus.
+    let dir = golden_dir();
+    let regen = std::env::var_os("SS_GOLDEN_REGEN").is_some();
+    let mut stream = SchemeStream::default();
+    let mut back = Tensor::zeros(Shape::flat(0), FixedType::U8);
+    for case in SCHEME_CASES {
+        let scheme = SchemeRegistry::global().get(case.scheme).unwrap();
+        let values = golden_values(case.seed, case.len, case.dtype);
+        let tensor =
+            Tensor::from_vec(Shape::flat(case.len), case.dtype, values.clone()).unwrap();
+        let config = ss_core::CodecConfig::new().with_group_size(case.group);
+        let mut session = CodecSession::new(config).unwrap();
+        session
+            .encode_with_scheme(scheme, &tensor, IndexPolicy::None, &mut stream)
+            .unwrap();
+        assert!(stream.index.is_none(), "{}: unexpected index", case.name);
+
+        let stream_path = dir.join(format!("{}.stream.bin", case.name));
+        let values_path = dir.join(format!("{}.values.bin", case.name));
+
+        if regen {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&stream_path, &stream.bytes).unwrap();
+            std::fs::write(&values_path, values_to_le_bytes(&values)).unwrap();
+            println!(
+                "{}: stream_hash: {:#018x}, bit_len: {},",
+                case.name,
+                fnv1a(&stream.bytes),
+                stream.bit_len
+            );
+            continue;
+        }
+
+        let golden_stream = std::fs::read(&stream_path)
+            .unwrap_or_else(|e| panic!("{}: missing golden stream ({e})", case.name));
+        assert_eq!(
+            stream.bytes,
+            golden_stream,
+            "{}: encoder drifted from the golden stream",
+            case.name
+        );
+        assert_eq!(
+            fnv1a(&golden_stream),
+            case.stream_hash,
+            "{}: golden stream file does not match its pinned hash",
+            case.name
+        );
+        assert_eq!(stream.bit_len, case.bit_len, "{}: bit length drifted", case.name);
+
+        let golden_values_file = values_from_le_bytes(
+            &std::fs::read(&values_path)
+                .unwrap_or_else(|e| panic!("{}: missing golden values ({e})", case.name)),
+        );
+        assert_eq!(golden_values_file, values, "{}: value corpus drifted", case.name);
+        session.decode_with_scheme(scheme, &stream, &mut back).unwrap();
+        assert_eq!(back, tensor, "{}: scheme decode drifted", case.name);
+    }
+}
+
+#[test]
 fn golden_corpus_is_complete() {
     // Every file under tests/golden/ belongs to a pinned case — a stray
     // artifact (or a case whose files were deleted without removing the
@@ -346,6 +487,10 @@ fn golden_corpus_is_complete() {
         if !matches!(case.policy, IndexPolicy::None) {
             expected.push(format!("{}.index.bin", case.name));
         }
+    }
+    for case in SCHEME_CASES {
+        expected.push(format!("{}.stream.bin", case.name));
+        expected.push(format!("{}.values.bin", case.name));
     }
     let mut actual: Vec<String> = std::fs::read_dir(&dir)
         .expect("tests/golden/ exists")

@@ -104,4 +104,49 @@ proptest! {
             prop_assert_eq!(report.total_bits(), out.bit_len());
         }
     }
+
+    #[test]
+    fn one_session_serves_every_registered_scheme_interleaved(
+        tensors in prop::collection::vec(arb_tensor(), 1..6),
+        group in 1usize..=256,
+    ) {
+        // The registry path inherits the reuse contract: one session
+        // hopping between every registered scheme (ShapeShifter, Delta,
+        // DPRed, AdaBits, and anything registered later) per tensor must
+        // match a fresh session's stream bit for bit — frame, bytes and
+        // index alike — and decode back losslessly into recycled
+        // buffers. The parallel decode inside follows `SS_THREADS`, the
+        // knob the tier-1 matrix sweeps.
+        let cfg = CodecConfig::new().with_group_size(group);
+        let mut session = CodecSession::new(cfg).unwrap();
+        let mut stream = SchemeStream::default();
+        let mut back = Tensor::zeros(Shape::flat(0), FixedType::U8);
+        for (i, t) in tensors.iter().enumerate() {
+            for id in SchemeRegistry::global().ids() {
+                let scheme = SchemeRegistry::global().get(id).unwrap();
+                session
+                    .encode_with_scheme(scheme, t, IndexPolicy::Auto, &mut stream)
+                    .unwrap();
+                prop_assert_eq!(stream.scheme, id);
+                let mut fresh = CodecSession::new(cfg).unwrap();
+                let mut reference = SchemeStream::default();
+                fresh
+                    .encode_with_scheme(scheme, t, IndexPolicy::Auto, &mut reference)
+                    .unwrap();
+                prop_assert_eq!(
+                    &stream.bytes, &reference.bytes,
+                    "tensor {} under {}: reused-session stream diverged",
+                    i, id
+                );
+                prop_assert_eq!(stream.bit_len, reference.bit_len);
+                prop_assert_eq!(&stream.index, &reference.index);
+                session.decode_with_scheme(scheme, &stream, &mut back).unwrap();
+                prop_assert_eq!(
+                    &back, t,
+                    "tensor {} under {}: scheme decode diverged",
+                    i, id
+                );
+            }
+        }
+    }
 }

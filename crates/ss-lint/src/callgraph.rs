@@ -38,10 +38,22 @@ pub const ENTRY_POINTS: &[&str] = &[
     // Reusable zero-allocation sessions.
     "CodecSession::encode_into",
     "CodecSession::decode_into",
+    // Registry-dispatched scheme sessions (plug-in codecs: DPRed,
+    // AdaBits, and every other `ContainerScheme` resolve through here).
+    "CodecSession::encode_with_scheme",
+    "CodecSession::decode_with_scheme",
+    "CodecSession::decode_scheme_stream_into",
+    "SchemeRegistry::get",
+    "DpRed::encode_into",
+    "DpRed::decode_into",
+    "AdaBitsScheme::encode_into",
+    "AdaBitsScheme::decode_into",
     // Batch engine.
     "Pipeline::process",
     "Pipeline::encode_batch",
     "Pipeline::decode_batch",
+    "Pipeline::encode_batch_with",
+    "Pipeline::decode_batch_with",
     // Shard store serving paths: streaming append and random-access get
     // both sit on the model-loading critical path.
     "ShardWriter::append",

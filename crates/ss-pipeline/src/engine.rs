@@ -21,7 +21,11 @@
 
 use std::time::{Duration, Instant};
 
-use ss_core::prelude::{CodecSession, EncodedTensor, ExecPolicy, ShapeShifterCodec};
+use ss_core::prelude::{
+    CodecSession, EncodedTensor, ExecPolicy, SchemeId, SchemeRegistry, SchemeStream,
+    ShapeShifterCodec,
+};
+use ss_core::IndexPolicy;
 use ss_tensor::{FixedType, Shape, Tensor};
 use ss_trace::Counter;
 
@@ -212,6 +216,67 @@ impl Pipeline {
             let tensor = ctx
                 .session
                 .decode(enc)
+                .map_err(|source| PipelineError::Codec { index, source })?;
+            ctx.decode_busy += t0.elapsed();
+            Ok(tensor)
+        })?;
+        Ok(run.outputs)
+    }
+
+    /// Encodes the batch under an arbitrary registered container scheme
+    /// (DPRed, AdaBits, or any plug-in), returning one [`SchemeStream`]
+    /// per tensor in submission order. Each stream is bit-identical to a
+    /// single-session `CodecSession::encode_with_scheme` under the same
+    /// configuration, for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidConfig`] if `scheme` is not registered
+    /// (typed `UnknownScheme`, resolved once before any worker spawns);
+    /// per-tensor codec failures as [`PipelineError::Codec`].
+    pub fn encode_batch_with(
+        &self,
+        scheme: impl Into<SchemeId>,
+        tensors: &[Tensor],
+    ) -> Result<Vec<SchemeStream>, PipelineError> {
+        let scheme = SchemeRegistry::global()
+            .get(scheme.into())
+            .map_err(PipelineError::InvalidConfig)?;
+        let run = self.run_batch(tensors, &|ctx: &mut WorkerCtx, index, tensor: &Tensor| {
+            // ss-lint: allow(determinism) -- timing half of BatchReport
+            let t0 = Instant::now();
+            let mut out = SchemeStream::default();
+            ctx.session
+                .encode_with_scheme(scheme, tensor, IndexPolicy::Auto, &mut out)
+                .map_err(|source| PipelineError::Codec { index, source })?;
+            ctx.encode_busy += t0.elapsed();
+            Ok(out)
+        })?;
+        Ok(run.outputs)
+    }
+
+    /// Decodes a batch of [`SchemeStream`]s back into tensors in
+    /// submission order (the inverse of [`Pipeline::encode_batch_with`]).
+    /// Each stream's own wire id is resolved against the global registry,
+    /// so one batch may mix schemes.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Codec`] carrying `UnknownScheme` for a stream
+    /// whose id has no registration, or the underlying decode failure.
+    pub fn decode_batch_with(
+        &self,
+        streams: &[SchemeStream],
+    ) -> Result<Vec<Tensor>, PipelineError> {
+        let run = self.run_batch(streams, &|ctx: &mut WorkerCtx, index, s: &SchemeStream| {
+            let scheme = SchemeRegistry::global()
+                .get(s.scheme)
+                .map_err(|source| PipelineError::Codec { index, source })?;
+            // ss-lint: allow(determinism) -- timing half of BatchReport
+            let t0 = Instant::now();
+            let mut tensor = Tensor::zeros(Shape::flat(0), FixedType::U8);
+            ctx.session
+                .decode_with_scheme(scheme, s, &mut tensor)
                 .map_err(|source| PipelineError::Codec { index, source })?;
             ctx.decode_busy += t0.elapsed();
             Ok(tensor)

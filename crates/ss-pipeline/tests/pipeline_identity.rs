@@ -76,6 +76,67 @@ fn encode_batch_is_bit_identical_to_one_shot_at_every_worker_count() {
 }
 
 #[test]
+fn scheme_batches_are_bit_identical_at_every_worker_count() {
+    // The registry path: DPRed and AdaBits batches through the pool equal
+    // a single-session `encode_with_scheme` stream for stream bytes,
+    // frame fields and index alike — per worker count — and a mixed-scheme
+    // batch decodes back losslessly through `decode_batch_with`.
+    let batch = mixed_batch();
+    for id in [
+        SchemeId::SHAPESHIFTER,
+        SchemeId::DELTA,
+        SchemeId::DPRED,
+        SchemeId::ADABITS,
+    ] {
+        let scheme = SchemeRegistry::global().get(id).unwrap();
+        let mut session = CodecSession::new(config().codec).unwrap();
+        let mut reference = Vec::new();
+        for t in &batch {
+            let mut s = SchemeStream::default();
+            session
+                .encode_with_scheme(scheme, t, IndexPolicy::Auto, &mut s)
+                .unwrap();
+            reference.push(s);
+        }
+        for workers in [1, 2, 4, 8] {
+            let pipeline =
+                Pipeline::new(config().with_workers(workers).with_queue_depth(2)).unwrap();
+            let streams = pipeline.encode_batch_with(id, &batch).unwrap();
+            assert_eq!(streams.len(), batch.len());
+            for (i, (s, r)) in streams.iter().zip(&reference).enumerate() {
+                assert_eq!(s.scheme, id);
+                assert_eq!(s.bytes, r.bytes, "{id} tensor {i} at {workers} workers");
+                assert_eq!(s.bit_len, r.bit_len, "{id} tensor {i} at {workers} workers");
+                assert_eq!(s.index, r.index, "{id} tensor {i} at {workers} workers");
+            }
+            let decoded = pipeline.decode_batch_with(&streams).unwrap();
+            for (i, (back, t)) in decoded.iter().zip(&batch).enumerate() {
+                assert_eq!(back, t, "{id} tensor {i} at {workers} workers round-trip");
+            }
+        }
+    }
+}
+
+#[test]
+fn scheme_batch_rejects_unregistered_ids_typed() {
+    let pipeline = Pipeline::new(config()).unwrap();
+    match pipeline.encode_batch_with(SchemeId::new(200), &mixed_batch()) {
+        Err(PipelineError::InvalidConfig(CodecError::UnknownScheme { id: 200 })) => {}
+        other => panic!("expected UnknownScheme, got {other:?}"),
+    }
+    // A stream claiming an unregistered id fails per item, index-tagged.
+    let mut bogus = SchemeStream::default();
+    bogus.scheme = SchemeId::new(200);
+    match pipeline.decode_batch_with(&[bogus]) {
+        Err(PipelineError::Codec {
+            index: 0,
+            source: CodecError::UnknownScheme { id: 200 },
+        }) => {}
+        other => panic!("expected indexed UnknownScheme, got {other:?}"),
+    }
+}
+
+#[test]
 fn report_deterministic_fields_agree_across_runs_and_worker_counts() {
     let batch = mixed_batch();
     let reports: Vec<BatchReport> = [1, 2, 4, 8, 2]

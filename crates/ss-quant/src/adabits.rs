@@ -1,0 +1,352 @@
+//! AdaBits-style multi-width serving variants of one quantized model
+//! (arXiv:1912.09666), coupled to the registry's `AdaBits` container
+//! scheme.
+//!
+//! AdaBits trains **one** network servable at several bit-widths. This
+//! module reproduces the serving side: one range-aware quantization of
+//! the int16 master at the family's widest width (one
+//! [`NetworkProfile`] run, shared by every variant), with each narrower
+//! variant defined as the **MSB truncation** of the widest — the value
+//! at width `w` is the full-width value with its `max - w` lowest
+//! magnitude bit-planes dropped.
+//!
+//! That truncation relationship is exactly what
+//! `ss_core::scheme::AdaBitsScheme` stores: its MSB-first bit-plane
+//! stream makes the width-`w` variant a per-group stream *prefix*, so a
+//! store or server holding the full-width stream serves every family
+//! member without re-encoding (`AdaBitsScheme::truncated_bits` prices
+//! the prefix). The property test in this module plus
+//! `msb_prefix_is_the_quantized_variant` in `ss-core` pin both halves
+//! of the contract.
+
+use ss_models::Network;
+use ss_tensor::{FixedType, Signedness, Tensor};
+
+use crate::profile::NetworkProfile;
+use crate::{QuantError, RangeAwareQuantizer};
+
+/// The widths an [`AdaBitsFamily`] accepts: at least 2 bits (a sign needs
+/// a magnitude) and at most 8 (the paper's int8 deployment regime).
+pub const ADABITS_WIDTH_RANGE: std::ops::RangeInclusive<u8> = 2..=8;
+
+/// One trained model, servable at several bit-widths (AdaBits §3).
+///
+/// Built from a zoo master with **one** profiling run; every serving
+/// width shares the profile and the widest width's quantized values.
+///
+/// # Examples
+///
+/// ```
+/// use ss_models::zoo;
+/// use ss_quant::AdaBitsFamily;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let family = AdaBitsFamily::new(zoo::alexnet_s(), &[4, 6, 8])?;
+/// let w8 = family.variant(8).expect("widest");
+/// let w4 = family.variant(4).expect("narrowest");
+/// assert_eq!(w4.name(), "AlexNet-S (AdaBits-4b)");
+/// // Narrow variants are MSB truncations of the widest.
+/// let full = w8.weight_tensor(0, 0);
+/// let cut = w4.weight_tensor(0, 0);
+/// assert!(full.len() == cut.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaBitsFamily {
+    base: Network,
+    profile: NetworkProfile,
+    widths: Vec<u8>,
+}
+
+impl AdaBitsFamily {
+    /// Builds a family of `widths`-bit serving variants of `base`,
+    /// profiling the master exactly once.
+    ///
+    /// Widths are deduplicated and sorted ascending; the largest is the
+    /// width the single stored model is quantized at.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::InvalidTargetWidth`] if `widths` is empty or any
+    /// width falls outside [`ADABITS_WIDTH_RANGE`].
+    pub fn new(base: Network, widths: &[u8]) -> Result<Self, QuantError> {
+        if widths.is_empty() {
+            return Err(QuantError::InvalidTargetWidth { bits: 0 });
+        }
+        let mut sorted = Vec::with_capacity(widths.len());
+        for &w in widths {
+            if !ADABITS_WIDTH_RANGE.contains(&w) {
+                return Err(QuantError::InvalidTargetWidth { bits: w });
+            }
+            if !sorted.contains(&w) {
+                sorted.push(w);
+            }
+        }
+        sorted.sort_unstable();
+        let profile = NetworkProfile::of(&base);
+        Ok(Self {
+            base,
+            profile,
+            widths: sorted,
+        })
+    }
+
+    /// The underlying int16 master.
+    #[must_use]
+    pub fn base(&self) -> &Network {
+        &self.base
+    }
+
+    /// The shared per-layer profile (computed once at construction).
+    #[must_use]
+    pub fn profile(&self) -> &NetworkProfile {
+        &self.profile
+    }
+
+    /// The serving widths, ascending and deduplicated.
+    #[must_use]
+    pub fn widths(&self) -> &[u8] {
+        &self.widths
+    }
+
+    /// The width the single stored model is quantized at.
+    #[must_use]
+    pub fn max_width(&self) -> u8 {
+        *self.widths.last().unwrap_or(&8)
+    }
+
+    /// The serving variant at `width`, if it is one of the family's.
+    #[must_use]
+    pub fn variant(&self, width: u8) -> Option<AdaBitsVariant<'_>> {
+        self.widths
+            .contains(&width)
+            .then(|| AdaBitsVariant::new(self, width))
+    }
+
+    /// Every serving variant, narrowest first.
+    #[must_use]
+    pub fn variants(&self) -> Vec<AdaBitsVariant<'_>> {
+        self.widths
+            .iter()
+            .map(|&w| AdaBitsVariant::new(self, w))
+            .collect()
+    }
+
+    /// The full-width quantized form of a master tensor: one range-aware
+    /// pass at the family's widest width against the shared profile.
+    fn quantize_full(&self, master: &Tensor, profiled_width: u8) -> Tensor {
+        // ss-lint: allow(panic-freedom) -- max_width is bounded to 2..=8 at construction, inside the quantizer's accepted range
+        let q = RangeAwareQuantizer::new(self.max_width()).expect("validated width");
+        q.quantize(master, profiled_width)
+            // ss-lint: allow(panic-freedom) -- quantize clamps to the container range before constructing the tensor
+            .expect("clamped values fit the container")
+    }
+}
+
+/// One serving width of an [`AdaBitsFamily`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaBitsVariant<'a> {
+    family: &'a AdaBitsFamily,
+    width: u8,
+    name: String,
+}
+
+impl<'a> AdaBitsVariant<'a> {
+    fn new(family: &'a AdaBitsFamily, width: u8) -> Self {
+        let name = format!("{} (AdaBits-{width}b)", family.base.name());
+        Self {
+            family,
+            width,
+            name,
+        }
+    }
+
+    /// The display name, e.g. `AlexNet-S (AdaBits-4b)`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This variant's serving width.
+    #[must_use]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// The family this variant serves from.
+    #[must_use]
+    pub fn family(&self) -> &'a AdaBitsFamily {
+        self.family
+    }
+
+    /// Container of this variant's weights (signed, `width` bits).
+    #[must_use]
+    pub fn weight_dtype(&self) -> FixedType {
+        // ss-lint: allow(panic-freedom) -- width is bounded to 2..=8 at family construction, a valid signed container
+        FixedType::signed(self.width).expect("validated width")
+    }
+
+    /// Container of this variant's activations (unsigned, `width` bits).
+    #[must_use]
+    pub fn act_dtype(&self) -> FixedType {
+        // ss-lint: allow(panic-freedom) -- width is bounded to 2..=8 at family construction, a valid unsigned container
+        FixedType::unsigned(self.width).expect("validated width")
+    }
+
+    /// Quantized weights of `layer`: the family's full-width weights with
+    /// the low bit-planes truncated to this width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range (as the zoo does).
+    #[must_use]
+    pub fn weight_tensor(&self, layer: usize, model_seed: u64) -> Tensor {
+        let master = self.family.base.weight_tensor(layer, model_seed);
+        // ss-lint: allow(panic-freedom) -- out-of-range layer is a documented panic, matching the zoo
+        let profiled = self.family.profile.wgt_widths()[layer];
+        self.truncate(&self.family.quantize_full(&master, profiled))
+    }
+
+    /// Quantized input activations of `layer` for one input, truncated to
+    /// this width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range (as the zoo does).
+    #[must_use]
+    pub fn input_tensor(&self, layer: usize, input_seed: u64) -> Tensor {
+        let master = self.family.base.input_tensor(layer, input_seed);
+        // ss-lint: allow(panic-freedom) -- out-of-range layer is a documented panic, matching the zoo
+        let profiled = self.family.profile.act_widths()[layer];
+        self.truncate(&self.family.quantize_full(&master, profiled))
+    }
+
+    /// Quantized output activations of `layer` for one input, truncated
+    /// to this width. Matches `input_tensor(layer + 1)` on linear chains
+    /// (same guarantee as the master zoo).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range (as the zoo does).
+    #[must_use]
+    pub fn output_tensor(&self, layer: usize, input_seed: u64) -> Tensor {
+        let master = self.family.base.output_tensor(layer, input_seed);
+        let profiled = self.family.profile.output_act_width(layer);
+        self.truncate(&self.family.quantize_full(&master, profiled))
+    }
+
+    /// Drops the low `max_width - width` magnitude bit-planes of a
+    /// full-width tensor — the AdaBits serving truncation. Sign survives;
+    /// a magnitude that loses all its planes becomes zero.
+    fn truncate(&self, full: &Tensor) -> Tensor {
+        let shift = u32::from(self.family.max_width() - self.width);
+        let dtype = match full.signedness() {
+            Signedness::Signed => self.weight_dtype(),
+            Signedness::Unsigned => self.act_dtype(),
+        };
+        let data = full
+            .values()
+            .iter()
+            .map(|&v| {
+                let mag = (v.unsigned_abs() >> shift) as i32;
+                if v < 0 {
+                    -mag
+                } else {
+                    mag
+                }
+            })
+            .collect();
+        Tensor::from_vec(full.shape().clone(), dtype, data)
+            // ss-lint: allow(panic-freedom) -- a truncated magnitude needs at most `width` bits, inside the container by construction
+            .expect("truncated values fit the container")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_models::zoo;
+
+    fn family() -> AdaBitsFamily {
+        AdaBitsFamily::new(zoo::alexnet().scaled_down(4), &[4, 6, 8]).unwrap()
+    }
+
+    #[test]
+    fn widths_are_validated_sorted_and_deduplicated() {
+        let f = AdaBitsFamily::new(zoo::alexnet_s(), &[8, 4, 6, 4]).unwrap();
+        assert_eq!(f.widths(), &[4, 6, 8]);
+        assert_eq!(f.max_width(), 8);
+        assert!(matches!(
+            AdaBitsFamily::new(zoo::alexnet_s(), &[]),
+            Err(QuantError::InvalidTargetWidth { bits: 0 })
+        ));
+        assert!(matches!(
+            AdaBitsFamily::new(zoo::alexnet_s(), &[4, 9]),
+            Err(QuantError::InvalidTargetWidth { bits: 9 })
+        ));
+        assert!(matches!(
+            AdaBitsFamily::new(zoo::alexnet_s(), &[1]),
+            Err(QuantError::InvalidTargetWidth { bits: 1 })
+        ));
+    }
+
+    #[test]
+    fn one_profile_serves_every_variant() {
+        let f = family();
+        // The family's profile is the master's, computed once — each
+        // variant sees the identical object.
+        assert_eq!(f.profile(), &NetworkProfile::of(f.base()));
+        let variants = f.variants();
+        assert_eq!(variants.len(), 3);
+        assert_eq!(variants[0].width(), 4);
+        assert!(f.variant(5).is_none());
+    }
+
+    #[test]
+    fn narrow_variants_are_msb_truncations_of_the_widest() {
+        let f = family();
+        let full = f.variant(8).unwrap();
+        for width in [4u8, 6] {
+            let v = f.variant(width).unwrap();
+            for (layer, seed) in [(0usize, 7u64), (2, 11)] {
+                let wide = full.weight_tensor(layer, seed);
+                let cut = v.weight_tensor(layer, seed);
+                for (a, b) in wide.values().iter().zip(cut.values()) {
+                    let mag = (a.unsigned_abs() >> (8 - width)) as i32;
+                    let expect = if *a < 0 { -mag } else { mag };
+                    assert_eq!(*b, expect, "layer {layer} width {width}");
+                }
+                let acts_wide = full.input_tensor(layer, seed);
+                let acts_cut = v.input_tensor(layer, seed);
+                for (a, b) in acts_wide.values().iter().zip(acts_cut.values()) {
+                    assert_eq!(*b, a >> (8 - width), "acts layer {layer} width {width}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn containers_match_the_serving_width() {
+        let f = family();
+        let v = f.variant(6).unwrap();
+        assert_eq!(v.weight_dtype().bits(), 6);
+        assert!(v.weight_dtype().signedness().is_signed());
+        assert_eq!(v.act_dtype().bits(), 6);
+        assert_eq!(v.weight_tensor(0, 0).dtype(), v.weight_dtype());
+        assert_eq!(v.input_tensor(0, 0).dtype(), v.act_dtype());
+    }
+
+    #[test]
+    fn outputs_chain_into_inputs() {
+        let f = family();
+        let v = f.variant(4).unwrap();
+        assert_eq!(v.output_tensor(2, 3), v.input_tensor(3, 3));
+    }
+
+    #[test]
+    fn names_follow_the_family_convention() {
+        let f = family();
+        assert!(f.variant(8).unwrap().name().contains("(AdaBits-8b)"));
+    }
+}

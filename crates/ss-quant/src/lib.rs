@@ -19,6 +19,10 @@
 //!   zero and small values small, preserving the group-width opportunity.
 //! * [`OutlierAwareQuantizer`] — Park et al.'s two-width scheme: 97–99% of
 //!   values in 4–5 bits, rare outliers at full width (used in Figure 16).
+//! * [`AdaBitsFamily`] — AdaBits-style multi-width serving variants of one
+//!   range-aware-quantized model (one profiling run; narrower variants
+//!   are MSB truncations, matching the `AdaBits` container scheme's
+//!   stream-prefix property).
 //!
 //! [`QuantizedNetwork`] wraps a zoo [`ss_models::Network`] with a method so
 //! the rest of the pipeline can consume 8-bit models through the same
@@ -26,6 +30,7 @@
 //! profiled widths used by the "Profile" compression baseline and by the
 //! original Stripes.
 
+mod adabits;
 mod error;
 mod outlier;
 pub mod profile;
@@ -33,6 +38,7 @@ mod quantized;
 mod range_aware;
 mod tf;
 
+pub use adabits::{AdaBitsFamily, AdaBitsVariant, ADABITS_WIDTH_RANGE};
 pub use error::QuantError;
 pub use outlier::{OutlierAwareQuantizer, OutlierQuantized};
 pub use quantized::{QuantMethod, QuantizedNetwork};

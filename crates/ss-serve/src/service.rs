@@ -28,7 +28,8 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
-use shapeshifter::container::{self, ContainerCodec, ContainerError};
+use shapeshifter::container::{self, ContainerError};
+use shapeshifter::SchemeId;
 use ss_core::{CodecConfig, CodecSession};
 use ss_pipeline::{BoundedQueue, TryPushError};
 use ss_store::{ModelStore, StorageProvider, StoreError};
@@ -53,8 +54,9 @@ const STATE_DRAINING: u8 = 1;
 pub struct ServeConfig {
     /// Codec configuration every worker session is built from.
     pub codec: CodecConfig,
-    /// Container codec encode requests are packed with.
-    pub container: ContainerCodec,
+    /// Container scheme encode requests are packed with (resolved
+    /// against the global [`shapeshifter::SchemeRegistry`] per request).
+    pub container: SchemeId,
     /// Worker threads; 0 means follow `ss_core::par::thread_count()`
     /// (the `SS_THREADS` knob).
     pub workers: usize,
@@ -72,7 +74,7 @@ impl ServeConfig {
     pub fn new() -> Self {
         Self {
             codec: CodecConfig::new(),
-            container: ContainerCodec::ShapeShifter,
+            container: SchemeId::SHAPESHIFTER,
             workers: 0,
             queue_depth: 64,
             max_body: DEFAULT_MAX_BODY,
@@ -86,10 +88,11 @@ impl ServeConfig {
         self
     }
 
-    /// Sets the container codec for encode requests.
+    /// Sets the container scheme for encode requests. Accepts any
+    /// [`SchemeId`] (or the legacy `ContainerCodec` via `Into`).
     #[must_use]
-    pub fn with_container(mut self, container: ContainerCodec) -> Self {
-        self.container = container;
+    pub fn with_container(mut self, container: impl Into<SchemeId>) -> Self {
+        self.container = container.into();
         self
     }
 
@@ -645,7 +648,7 @@ fn handle_job(
     match job.op {
         Op::Encode => match wire::decode_tensor(&job.body) {
             Ok(tensor) => {
-                match container::pack_with_codec(&tensor, config.codec.group_size, config.container)
+                match container::pack_with_scheme(&tensor, config.codec.group_size, config.container)
                 {
                     Ok(packed) => Response::new(job.op, job.request_id, Status::Ok, packed),
                     Err(e) => Response::err(job.op, job.request_id, Status::CodecFailure, e.to_string()),
@@ -838,6 +841,54 @@ mod tests {
         assert!(stats.contains("\"serve_encode_nanos\""));
         let report = service.shutdown();
         assert!(report.completed >= 6);
+    }
+
+    #[test]
+    fn plugin_schemes_serve_round_trips() {
+        // A service configured for a registry scheme (DPRed, AdaBits)
+        // packs encode responses under that wire id; decode resolves the
+        // id from the container header, so the same service decodes any
+        // registered scheme's containers.
+        for scheme in [SchemeId::DPRED, SchemeId::ADABITS] {
+            let mut service = Service::new(
+                ServeConfig::new()
+                    .with_container(scheme)
+                    .with_workers(2)
+                    .with_queue_depth(8),
+            )
+            .expect("service");
+            service.start();
+            let handle = service.handle();
+            let t = tensor(7);
+            let packed = handle.encode(&t).expect("encode");
+            assert_eq!(
+                shapeshifter::container::info(&packed).expect("info").scheme,
+                scheme
+            );
+            assert_eq!(handle.decode(&packed).expect("decode"), t);
+            service.shutdown();
+        }
+    }
+
+    #[test]
+    fn unregistered_scheme_id_is_a_typed_codec_failure() {
+        // An encode-side config holding an unregistered id must answer
+        // CodecFailure per request, never panic a worker.
+        let mut service = Service::new(
+            ServeConfig::new()
+                .with_container(SchemeId::new(77))
+                .with_workers(1),
+        )
+        .expect("service");
+        service.start();
+        let handle = service.handle();
+        match handle.encode(&tensor(2)) {
+            Err(ServeError::Remote { status, .. }) => {
+                assert_eq!(status, Status::CodecFailure);
+            }
+            other => panic!("expected CodecFailure, got {other:?}"),
+        }
+        service.shutdown();
     }
 
     #[test]

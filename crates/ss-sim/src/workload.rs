@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ss_models::{Layer, Network};
-use ss_quant::QuantizedNetwork;
+use ss_quant::{AdaBitsVariant, QuantizedNetwork};
 use ss_tensor::{FixedType, Tensor, TensorStats};
 
 /// Grouping granularities every shared [`TensorStats`] is computed at: the
@@ -17,10 +17,11 @@ pub const STAT_GROUP_SIZES: [usize; 2] = [16, 256];
 
 /// Anything that can supply per-layer tensors to a simulator.
 ///
-/// Implemented by [`ss_models::Network`] (int16 masters) and
-/// [`ss_quant::QuantizedNetwork`] (the TF-8b/RA-8b variants), so every
-/// simulator and figure harness runs unchanged across the paper's model
-/// suites.
+/// Implemented by [`ss_models::Network`] (int16 masters),
+/// [`ss_quant::QuantizedNetwork`] (the TF-8b/RA-8b variants) and
+/// [`ss_quant::AdaBitsVariant`] (multi-width servings of one model), so
+/// every simulator and figure harness runs unchanged across the paper's
+/// model suites.
 pub trait TensorSource {
     /// Display name used in figure rows.
     fn name(&self) -> &str;
@@ -170,6 +171,49 @@ impl TensorSource for QuantizedNetwork {
                 self.profile().wgt_widths()[layer].min(8)
             }
         }
+    }
+}
+
+impl TensorSource for AdaBitsVariant<'_> {
+    fn name(&self) -> &str {
+        AdaBitsVariant::name(self)
+    }
+
+    fn layers(&self) -> &[Layer] {
+        self.family().base().layers()
+    }
+
+    fn weight_dtype(&self) -> FixedType {
+        AdaBitsVariant::weight_dtype(self)
+    }
+
+    fn act_dtype(&self) -> FixedType {
+        AdaBitsVariant::act_dtype(self)
+    }
+
+    fn weight_tensor(&self, layer: usize, model_seed: u64) -> Tensor {
+        AdaBitsVariant::weight_tensor(self, layer, model_seed)
+    }
+
+    fn input_tensor(&self, layer: usize, input_seed: u64) -> Tensor {
+        AdaBitsVariant::input_tensor(self, layer, input_seed)
+    }
+
+    fn output_tensor(&self, layer: usize, input_seed: u64) -> Tensor {
+        AdaBitsVariant::output_tensor(self, layer, input_seed)
+    }
+
+    fn profiled_act_width(&self, layer: usize) -> u8 {
+        // The family's shared profile, rescaled by the truncation: what
+        // needed the profiled width in the master needs at most the
+        // serving width after the range-aware shift plus MSB truncation.
+        // ss-lint: allow(panic-freedom) -- out-of-range layer is a documented panic, matching the zoo
+        self.family().profile().act_widths()[layer].min(self.width())
+    }
+
+    fn profiled_wgt_width(&self, layer: usize) -> u8 {
+        // ss-lint: allow(panic-freedom) -- out-of-range layer is a documented panic, matching the zoo
+        self.family().profile().wgt_widths()[layer].min(self.width())
     }
 }
 

@@ -41,7 +41,7 @@
 //! protects the lookup table, and the whole-shard CRC gives `verify()` a
 //! single end-to-end answer.
 
-use shapeshifter::container::ContainerCodec;
+use shapeshifter::SchemeId;
 use ss_bitio::{BitReader, BitWriter};
 use ss_tensor::FixedType;
 
@@ -150,8 +150,10 @@ pub struct RecordMeta {
     pub layer: u32,
     /// The tensor's fixed-point container type.
     pub dtype: FixedType,
-    /// The codec the payload was packed with.
-    pub codec: ContainerCodec,
+    /// The container scheme the payload was packed with. Parsed
+    /// permissively — an id with no registered scheme still lists; only
+    /// decoding it fails (typed, through the registry).
+    pub scheme: SchemeId,
     /// The codec's group size.
     pub group_size: u16,
     /// FNV-1a fingerprint of the codec configuration — see
@@ -199,7 +201,7 @@ impl RecordMeta {
         out.extend_from_slice(&self.layer.to_le_bytes());
         out.push(self.dtype.bits());
         out.push(u8::from(self.dtype.signedness().is_signed()));
-        out.push(self.codec.to_byte());
+        out.push(self.scheme.as_byte());
         out.extend_from_slice(&self.group_size.to_le_bytes());
         out.extend_from_slice(&self.fingerprint.to_le_bytes());
         out.extend_from_slice(&self.values.to_le_bytes());
@@ -246,8 +248,8 @@ impl RecordMeta {
             }
         }
         .map_err(|e| corrupt(format!("record container type: {e}")))?;
-        let codec = ContainerCodec::from_byte(bytes[at + 2])
-            .ok_or_else(|| corrupt(format!("unknown record codec id {}", bytes[at + 2])))?;
+        // ss-lint: allow(panic-freedom) -- the record-length check above guarantees at + 2 in bounds
+        let scheme = SchemeId::new(bytes[at + 2]);
         at += 3;
         let group_size = u16::from_le_bytes([bytes[at], bytes[at + 1]]);
         if group_size == 0 || group_size > 256 {
@@ -271,7 +273,7 @@ impl RecordMeta {
             name,
             layer,
             dtype,
-            codec,
+            scheme,
             group_size,
             fingerprint,
             values,
@@ -279,24 +281,21 @@ impl RecordMeta {
     }
 }
 
-/// FNV-1a fingerprint of a codec configuration (codec id, group size,
-/// container type). Two records with equal fingerprints were packed
+/// FNV-1a fingerprint of a codec configuration (scheme wire id, group
+/// size, container type). Two records with equal fingerprints were packed
 /// compatibly; the store's `verify()` flags mixtures.
+///
+/// Delegates to the registry's canonical recipe
+/// ([`ss_core::registry::fingerprint_bytes`] via each scheme's
+/// `fingerprint` hook when registered), so shard fingerprints written
+/// before the registry existed hash byte-identically.
 #[must_use]
-pub fn codec_fingerprint(codec: ContainerCodec, group_size: u16, dtype: FixedType) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x100_0000_01b3;
-    let mut h = FNV_OFFSET;
-    for b in [
-        codec.to_byte(),
-        group_size.to_le_bytes()[0],
-        group_size.to_le_bytes()[1],
-        dtype.bits(),
-        u8::from(dtype.signedness().is_signed()),
-    ] {
-        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+pub fn codec_fingerprint(scheme: impl Into<SchemeId>, group_size: u16, dtype: FixedType) -> u64 {
+    let id = scheme.into();
+    match shapeshifter::SchemeRegistry::global().lookup(id) {
+        Some(s) => s.fingerprint(group_size, dtype),
+        None => ss_core::registry::fingerprint_bytes(id, group_size, dtype),
     }
-    h
 }
 
 /// One index entry: a record's metadata plus where its block sits in the
@@ -642,9 +641,9 @@ mod tests {
             name: name.to_string(),
             layer: 3,
             dtype,
-            codec: ContainerCodec::ShapeShifter,
+            scheme: SchemeId::SHAPESHIFTER,
             group_size: 16,
-            fingerprint: codec_fingerprint(ContainerCodec::ShapeShifter, 16, dtype),
+            fingerprint: codec_fingerprint(SchemeId::SHAPESHIFTER, 16, dtype),
             values: 1000,
         }
     }
@@ -772,10 +771,31 @@ mod tests {
 
     #[test]
     fn fingerprint_distinguishes_configs() {
-        let a = codec_fingerprint(ContainerCodec::ShapeShifter, 16, FixedType::I16);
-        assert_eq!(a, codec_fingerprint(ContainerCodec::ShapeShifter, 16, FixedType::I16));
-        assert_ne!(a, codec_fingerprint(ContainerCodec::Delta, 16, FixedType::I16));
-        assert_ne!(a, codec_fingerprint(ContainerCodec::ShapeShifter, 32, FixedType::I16));
-        assert_ne!(a, codec_fingerprint(ContainerCodec::ShapeShifter, 16, FixedType::U16));
+        let a = codec_fingerprint(SchemeId::SHAPESHIFTER, 16, FixedType::I16);
+        assert_eq!(a, codec_fingerprint(SchemeId::SHAPESHIFTER, 16, FixedType::I16));
+        assert_ne!(a, codec_fingerprint(SchemeId::DELTA, 16, FixedType::I16));
+        assert_ne!(a, codec_fingerprint(SchemeId::SHAPESHIFTER, 32, FixedType::I16));
+        assert_ne!(a, codec_fingerprint(SchemeId::SHAPESHIFTER, 16, FixedType::U16));
+        // New registry schemes fingerprint through the same recipe.
+        assert_ne!(
+            codec_fingerprint(SchemeId::DPRED, 16, FixedType::I16),
+            codec_fingerprint(SchemeId::ADABITS, 16, FixedType::I16)
+        );
+        // Unregistered ids still fingerprint (a reader can refuse mixtures
+        // even for schemes it cannot decode).
+        let _ = codec_fingerprint(SchemeId::new(200), 16, FixedType::I16);
+    }
+
+    #[test]
+    fn fingerprint_recipe_is_frozen() {
+        // The exact pre-registry FNV-1a value: shards written before the
+        // registry existed must keep verifying.
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in [0u8, 16, 0, 16, 1] {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        assert_eq!(h, codec_fingerprint(SchemeId::SHAPESHIFTER, 16, FixedType::I16));
     }
 }

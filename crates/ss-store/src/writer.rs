@@ -11,6 +11,7 @@
 use std::collections::BTreeSet;
 
 use shapeshifter::container::{self, ContainerCodec};
+use shapeshifter::SchemeId;
 use ss_core::IndexPolicy;
 use ss_tensor::Tensor;
 use ss_trace::Counter;
@@ -176,7 +177,7 @@ pub struct ModelSummary {
 pub struct ModelWriter<'a> {
     provider: &'a dyn StorageProvider,
     model: String,
-    codec: ContainerCodec,
+    scheme: SchemeId,
     group_size: u16,
     shard_bytes: u64,
     shard: Option<ShardWriter>,
@@ -192,7 +193,7 @@ impl<'a> ModelWriter<'a> {
         ModelWriter {
             provider,
             model: model.to_string(),
-            codec: ContainerCodec::ShapeShifter,
+            scheme: SchemeId::SHAPESHIFTER,
             group_size: 16,
             shard_bytes: DEFAULT_SHARD_BYTES,
             shard: None,
@@ -202,20 +203,36 @@ impl<'a> ModelWriter<'a> {
         }
     }
 
-    /// Overrides the codec configuration records are packed with.
+    /// Overrides the container scheme records are packed with. Accepts
+    /// any [`SchemeId`] (or the legacy `ContainerCodec` via `Into`);
+    /// unregistered ids surface as a typed error at append time.
     ///
     /// # Panics
     ///
     /// Panics if `group_size` is 0 or exceeds 256 (as the codec does).
     #[must_use]
-    pub fn with_codec(mut self, codec: ContainerCodec, group_size: u16) -> Self {
+    pub fn with_scheme(mut self, scheme: impl Into<SchemeId>, group_size: u16) -> Self {
         assert!(
             group_size > 0 && group_size <= 256,
             "group size {group_size} outside 1..=256"
         );
-        self.codec = codec;
+        self.scheme = scheme.into();
         self.group_size = group_size;
         self
+    }
+
+    /// Overrides the codec configuration records are packed with.
+    ///
+    /// # Panics
+    ///
+    /// As [`ModelWriter::with_scheme`].
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `with_scheme` — schemes are addressed by `SchemeId` through the registry"
+    )]
+    #[must_use]
+    pub fn with_codec(self, codec: ContainerCodec, group_size: u16) -> Self {
+        self.with_scheme(codec, group_size)
     }
 
     /// Overrides the shard rotation budget (minimum one record per
@@ -247,16 +264,16 @@ impl<'a> ModelWriter<'a> {
         let payload = container::pack_with_policy(
             tensor,
             usize::from(self.group_size),
-            self.codec,
+            self.scheme,
             IndexPolicy::Auto,
         )?;
         let meta = RecordMeta {
             name: name.to_string(),
             layer,
             dtype: tensor.dtype(),
-            codec: self.codec,
+            scheme: self.scheme,
             group_size: self.group_size,
-            fingerprint: codec_fingerprint(self.codec, self.group_size, tensor.dtype()),
+            fingerprint: codec_fingerprint(self.scheme, self.group_size, tensor.dtype()),
             values: tensor.len() as u64,
         };
         // Rotate before the append so a shard never exceeds its budget

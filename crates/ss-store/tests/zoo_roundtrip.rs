@@ -4,7 +4,7 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use shapeshifter::container::ContainerCodec;
+use shapeshifter::SchemeId;
 use ss_store::{
     codec_fingerprint, LocalFsProvider, MemoryProvider, ModelStore, ModelWriter, StorageProvider,
 };
@@ -55,7 +55,7 @@ fn roundtrip_on(provider: &dyn StorageProvider) {
         assert_eq!(e.meta.dtype, t.dtype());
         assert_eq!(
             e.meta.fingerprint,
-            codec_fingerprint(ContainerCodec::ShapeShifter, 16, t.dtype())
+            codec_fingerprint(SchemeId::SHAPESHIFTER, 16, t.dtype())
         );
     }
     let report = store.verify().unwrap();
@@ -75,6 +75,36 @@ fn zoo_model_roundtrips_on_disk() {
     let _ = std::fs::remove_dir_all(&dir);
     roundtrip_on(&LocalFsProvider::new(&dir));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn plugin_schemes_roundtrip_through_the_store() {
+    // DPRed and AdaBits records flow through ModelWriter/ModelStore just
+    // like the built-ins: same shard format, scheme resolved from the
+    // registry at read time, bit-identical values back.
+    let (model_base, tensors) = zoo_weights();
+    for scheme in [SchemeId::DPRED, SchemeId::ADABITS] {
+        let provider = MemoryProvider::new();
+        let model = format!("{model_base}-{}", scheme.as_byte());
+        let mut w = ModelWriter::new(&provider, &model)
+            .with_scheme(scheme, 16)
+            .with_shard_bytes(64 << 10);
+        for (layer, (name, t)) in tensors.iter().enumerate() {
+            w.append_tensor(name, layer as u32, t).unwrap();
+        }
+        w.finish().unwrap();
+        let mut store = ModelStore::open(&provider, &model).unwrap();
+        for (name, t) in &tensors {
+            let e = store.entry(name).unwrap();
+            assert_eq!(e.meta.scheme, scheme);
+            assert_eq!(
+                e.meta.fingerprint,
+                codec_fingerprint(scheme, 16, t.dtype())
+            );
+            assert_eq!(&store.get(name).unwrap(), t, "{name:?} under {scheme}");
+        }
+        store.verify().unwrap();
+    }
 }
 
 #[test]

@@ -143,6 +143,31 @@ for gate in responses_all_ok overload_typed drain_zero_loss stats_schema_ok tcp_
 done
 echo "ok: serve deterministic fields reproduce byte-for-byte across SS_THREADS"
 
+echo
+echo "== BENCH_schemes determinism gate (two runs, different SS_THREADS) =="
+# The scheme-registry bench's JSON must be byte-identical across runs
+# AND thread settings: the chained DPRed/AdaBits stream hash, the
+# serving-width traffic rows and the gate verdicts may depend on nothing
+# but the pinned pool. Any diff means a plug-in scheme's output varies
+# with the worker count.
+tmp7="$(mktemp)" tmp8="$(mktemp)"
+trap 'rm -f "$tmp1" "$tmp2" "$tmp3" "$tmp4" "$tmp5" "$tmp6" "$tmp7" "$tmp8"' EXIT
+SS_THREADS=1 SS_BENCH_SCHEMES_OUT="$tmp7" \
+    cargo run --release -q -p ss-bench --bin schemes_quant -- --smoke >/dev/null
+SS_THREADS=8 SS_BENCH_SCHEMES_OUT="$tmp8" \
+    cargo run --release -q -p ss-bench --bin schemes_quant -- --smoke >/dev/null
+if ! diff -u "$tmp7" "$tmp8"; then
+    echo "FAIL: BENCH_schemes deterministic fields differ across runs/SS_THREADS" >&2
+    exit 1
+fi
+for gate in registry_byte_identical dpred_adabits_roundtrip adabits_prefix_monotone; do
+    grep -q "\"$gate\": true" "$tmp7" || {
+        echo "FAIL: scheme gate $gate did not pass" >&2
+        exit 1
+    }
+done
+echo "ok: scheme streams reproduce byte-for-byte across SS_THREADS"
+
 if [ "$UPDATE_TIMINGS" = 1 ]; then
     echo
     echo "== perf regression gate (t1 encode/decode vs committed timings) =="

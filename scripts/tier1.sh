@@ -15,24 +15,37 @@ cargo run --release -q -p ss-lint -- --self-test
 
 # Deprecated-API wall: the workspace must build with deprecation warnings
 # hardened into errors. The `#[deprecated]` shims themselves (old
-# `*_with_threads` names, `MeasureReport::into_tuple`) may only be
-# *defined* in ss-core — any call site that still uses one fails here.
-# A dedicated target dir keeps the flag change from thrashing the main
-# build cache.
+# `*_with_threads` names, `MeasureReport::into_tuple`, and the 0.3
+# scheme-registry deprecations: `pack_with_codec`,
+# `ContainerCodec::{to_byte,from_byte}`, `ModelWriter::with_codec`) may
+# only be *defined* in their home crates — any call site that still uses
+# one fails here. A dedicated target dir keeps the flag change from
+# thrashing the main build cache.
 echo
-echo "== deprecated-API wall (shims may only live in ss-core) =="
+echo "== deprecated-API wall (no callers of deprecated shims) =="
 CARGO_TARGET_DIR=target/deprecated-check RUSTFLAGS="-D deprecated" \
     cargo check -q --workspace --all-targets
 
-# Container conformance: golden vectors (v1 + v2 pinned streams), the
-# indexed-vs-sequential differential property suite, the corruption
-# fuzzers, and the word-parallel-kernel-vs-scalar differential suite. All
-# run above as part of the workspace tests; re-run here by name so a
+# Container conformance: golden vectors (v1 + v2 pinned streams plus the
+# pinned plug-in scheme streams), the indexed-vs-sequential differential
+# property suite, the corruption fuzzers (including the exhaustive
+# unregistered-wire-id sweep of the file container), the session-reuse
+# property suite (every registered scheme interleaved through one
+# session), and the word-parallel-kernel-vs-scalar differential suite.
+# All run above as part of the workspace tests; re-run here by name so a
 # conformance failure is unmissable in CI logs.
 echo
 echo "== container conformance (golden + differential + fuzz + kernels) =="
 cargo test -q -p ss-core --test golden_vectors --test codec_properties --test codec_fuzz \
-    --test kernel_differential
+    --test kernel_differential --test session_reuse
+cargo test -q -p shapeshifter --test container_fuzz
+
+# Scheme-registry gates: built-in registrations byte-identical to the
+# pre-registry encoders, DPRed/AdaBits round trip through the worker
+# pool, and the AdaBits truncation-prefix property.
+echo
+echo "== scheme registry (byte-identity + plug-in round-trip gates) =="
+cargo run --release -q -p ss-bench --bin schemes_quant -- --smoke
 
 # Deterministic gates: trace-recorder measure overhead and chunk-index
 # metadata overhead (both host-independent bounds).

@@ -2,7 +2,7 @@
 //! compression (the `SSPK` file container).
 //!
 //! ```text
-//! sspack pack   <in.raw> <out.sspk> [--bits N] [--signed] [--group N] [--delta]
+//! sspack pack   <in.raw> <out.sspk> [--bits N] [--signed] [--group N] [--scheme NAME|--delta]
 //! sspack unpack <in.sspk> <out.raw>
 //! sspack info   <in.sspk>
 //! ```
@@ -19,7 +19,7 @@ use shapeshifter::prelude::*;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sspack pack   <in.raw> <out.sspk> [--bits N] [--signed] [--group N] [--delta]\n  \
+        "usage:\n  sspack pack   <in.raw> <out.sspk> [--bits N] [--signed] [--group N] [--scheme NAME|--delta]\n  \
          sspack unpack <in.sspk> <out.raw>\n  sspack info   <in.sspk>"
     );
     ExitCode::from(2)
@@ -42,19 +42,38 @@ fn main() -> ExitCode {
     }
 }
 
+fn scheme_by_name(name: &str) -> Result<SchemeId, Box<dyn std::error::Error>> {
+    let registry = SchemeRegistry::global();
+    for id in registry.ids() {
+        if let Some(scheme) = registry.lookup(id) {
+            if scheme.name().eq_ignore_ascii_case(name) {
+                return Ok(id);
+            }
+        }
+    }
+    let known: Vec<&str> = registry
+        .ids()
+        .filter_map(|id| registry.lookup(id).map(|s| s.name()))
+        .collect();
+    Err(format!("unknown scheme {name:?} (registered: {})", known.join(", ")).into())
+}
+
 fn pack(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut positional: Vec<&str> = Vec::new();
     let mut bits: u8 = 16;
     let mut signed = false;
     let mut group: usize = 16;
-    let mut codec = container::ContainerCodec::ShapeShifter;
+    let mut scheme = SchemeId::SHAPESHIFTER;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--bits" => bits = it.next().ok_or("--bits needs a value")?.parse()?,
             "--signed" => signed = true,
             "--group" => group = it.next().ok_or("--group needs a value")?.parse()?,
-            "--delta" => codec = container::ContainerCodec::Delta,
+            "--delta" => scheme = SchemeId::DELTA,
+            "--scheme" => {
+                scheme = scheme_by_name(it.next().ok_or("--scheme needs a value")?)?;
+            }
             other => positional.push(other),
         }
     }
@@ -69,7 +88,7 @@ fn pack(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let raw = fs::read(input)?;
     let values = container::values_from_raw(&raw, dtype)?;
     let tensor = Tensor::from_vec(Shape::flat(values.len()), dtype, values)?;
-    let packed = container::pack_with_codec(&tensor, group, codec)?;
+    let packed = container::pack_with_scheme(&tensor, group, scheme)?;
     fs::write(output, &packed)?;
     println!(
         "packed {} values ({} bytes) into {} bytes ({:.1}% of raw)",
@@ -100,7 +119,14 @@ fn info(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let meta = container::info(&packed)?;
     println!("version:     {}", meta.version);
     println!("container:   {}", meta.dtype);
-    println!("codec:       {:?}", meta.codec);
+    let scheme_name = SchemeRegistry::global()
+        .lookup(meta.scheme)
+        .map_or("<unregistered>", |s| s.name());
+    println!(
+        "scheme:      {} (wire id {})",
+        scheme_name,
+        meta.scheme.as_byte()
+    );
     println!("group size:  {}", meta.group_size);
     println!("values:      {}", meta.len);
     println!("stream bits: {}", meta.stream_bits);

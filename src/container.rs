@@ -10,7 +10,8 @@
 //! 4       1     format version (1 or 2)
 //! 5       1     container bits (1..=16)
 //! 6       1     signedness (0 unsigned, 1 signed)
-//! 7       1     codec (0 ShapeShifter, 1 Delta-ShapeShifter)
+//! 7       1     scheme wire id (resolved via `ss_core::SchemeRegistry`:
+//!               0 ShapeShifter, 1 Delta, 2 DPRed, 3 AdaBits built in)
 //! 8       2     group size, little-endian
 //! 10      8     element count, little-endian
 //! 18      8     stream length in bits, little-endian
@@ -51,11 +52,17 @@
 use std::error::Error;
 use std::fmt;
 
-use ss_core::scheme::DeltaShapeShifter;
-use ss_core::{ChunkIndex, CodecError, IndexPolicy, ShapeShifterCodec};
+use ss_bitio::BitWriter;
+use ss_core::registry::StreamFrame;
+use ss_core::{ChunkIndex, CodecError, IndexPolicy, SchemeId, SchemeRegistry};
 use ss_tensor::{FixedType, Shape, Signedness, Tensor, TensorError};
 
-/// The compression codec a container uses.
+/// The closed pre-registry codec set, kept for source compatibility.
+///
+/// New code addresses schemes by [`SchemeId`] — the open wire id the
+/// [`SchemeRegistry`] resolves — and this enum converts losslessly via
+/// [`ContainerCodec::scheme_id`] / `From`. It only spans the two original
+/// codecs; DPRed and AdaBits exist solely as registry schemes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ContainerCodec {
     /// The paper's per-group container (zero elision + width prefix).
@@ -67,17 +74,31 @@ pub enum ContainerCodec {
 }
 
 impl ContainerCodec {
-    /// The codec's one-byte wire id (shared by the `SSPK` header and the
-    /// `ss-store` shard record metadata).
+    /// The registry wire id this legacy codec name maps to.
     #[must_use]
-    pub fn to_byte(self) -> u8 {
+    pub fn scheme_id(self) -> SchemeId {
         match self {
-            ContainerCodec::ShapeShifter => 0,
-            ContainerCodec::Delta => 1,
+            ContainerCodec::ShapeShifter => SchemeId::SHAPESHIFTER,
+            ContainerCodec::Delta => SchemeId::DELTA,
         }
     }
 
-    /// Inverse of [`to_byte`](Self::to_byte); `None` for unknown ids.
+    /// The codec's one-byte wire id (shared by the `SSPK` header and the
+    /// `ss-store` shard record metadata).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `scheme_id().as_byte()` — wire ids are `ss_core::SchemeId` now"
+    )]
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
+        self.scheme_id().as_byte()
+    }
+
+    /// Inverse of `to_byte`; `None` for ids outside the legacy enum.
+    #[deprecated(
+        since = "0.3.0",
+        note = "wire ids are open — wrap with `SchemeId::new` and resolve via `SchemeRegistry`"
+    )]
     #[must_use]
     pub fn from_byte(b: u8) -> Option<Self> {
         match b {
@@ -85,6 +106,12 @@ impl ContainerCodec {
             1 => Some(ContainerCodec::Delta),
             _ => None,
         }
+    }
+}
+
+impl From<ContainerCodec> for SchemeId {
+    fn from(codec: ContainerCodec) -> Self {
+        codec.scheme_id()
     }
 }
 
@@ -189,8 +216,11 @@ pub struct ContainerInfo {
     pub stream_bits: u64,
     /// Serialized chunk-index size in bytes (0 for v1 containers).
     pub index_bytes: usize,
-    /// Codec in use.
-    pub codec: ContainerCodec,
+    /// The scheme wire id (header byte 7). Parsed permissively: any byte
+    /// is representable, and validity is decided by the registry at
+    /// unpack time — an unregistered id surfaces there as the typed
+    /// [`CodecError::UnknownScheme`].
+    pub scheme: SchemeId,
 }
 
 impl ContainerInfo {
@@ -226,18 +256,29 @@ impl ContainerInfo {
     }
 }
 
-/// Packs a tensor into an `SSPK` byte vector.
+/// Packs a tensor into an `SSPK` byte vector (ShapeShifter scheme).
 ///
 /// # Errors
 ///
-/// Propagates [`CodecError`] from encoding (unreachable for valid
-/// tensors).
-///
-/// # Panics
-///
-/// Panics if `group_size` is 0 or exceeds 256 (as the codec does).
+/// [`CodecError::InvalidGroupSize`] (as a [`ContainerError::Codec`]) if
+/// `group_size` is 0 or exceeds 256; otherwise propagates encode
+/// failures (unreachable for valid tensors).
 pub fn pack(tensor: &Tensor, group_size: usize) -> Result<Vec<u8>, ContainerError> {
-    pack_with_codec(tensor, group_size, ContainerCodec::ShapeShifter)
+    pack_with_policy(tensor, group_size, SchemeId::SHAPESHIFTER, IndexPolicy::Auto)
+}
+
+/// Packs a tensor under any registered scheme (default index policy).
+///
+/// # Errors
+///
+/// As [`pack`], plus [`CodecError::UnknownScheme`] if `scheme` is not
+/// registered.
+pub fn pack_with_scheme(
+    tensor: &Tensor,
+    group_size: usize,
+    scheme: impl Into<SchemeId>,
+) -> Result<Vec<u8>, ContainerError> {
+    pack_with_policy(tensor, group_size, scheme, IndexPolicy::Auto)
 }
 
 /// Packs a tensor with an explicit codec choice.
@@ -245,52 +286,58 @@ pub fn pack(tensor: &Tensor, group_size: usize) -> Result<Vec<u8>, ContainerErro
 /// # Errors
 ///
 /// As [`pack`].
-///
-/// # Panics
-///
-/// Panics if `group_size` is 0 or exceeds 256.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `pack_with_scheme` — schemes are addressed by `SchemeId` through the registry"
+)]
 pub fn pack_with_codec(
     tensor: &Tensor,
     group_size: usize,
     codec: ContainerCodec,
 ) -> Result<Vec<u8>, ContainerError> {
-    pack_with_policy(tensor, group_size, codec, IndexPolicy::Auto)
+    pack_with_policy(tensor, group_size, codec.scheme_id(), IndexPolicy::Auto)
 }
 
-/// Packs a tensor with explicit codec and chunk-index policy choices.
+/// Packs a tensor with explicit scheme and chunk-index policy choices,
+/// resolving the scheme in the global [`SchemeRegistry`].
 ///
-/// The index policy only applies to the ShapeShifter codec: when it
-/// produces an index the file is written as version 2 (index block
-/// between header and stream); otherwise — including always for the
-/// Delta codec — the file is the classic version 1.
+/// The index policy only applies to schemes that participate in chunk
+/// indexing (ShapeShifter): when the scheme produces an index the file is
+/// written as version 2 (index block between header and stream);
+/// otherwise the file is the classic version 1.
 ///
 /// # Errors
 ///
-/// As [`pack`].
-///
-/// # Panics
-///
-/// Panics if `group_size` is 0 or exceeds 256.
+/// As [`pack_with_scheme`].
 pub fn pack_with_policy(
     tensor: &Tensor,
     group_size: usize,
-    codec: ContainerCodec,
+    scheme: impl Into<SchemeId>,
     policy: IndexPolicy,
 ) -> Result<Vec<u8>, ContainerError> {
-    let (bytes, bit_len, index_blob) = match codec {
-        ContainerCodec::ShapeShifter => {
-            let enc = ShapeShifterCodec::new(group_size)
-                .with_index_policy(policy)
-                .encode(tensor)?;
-            let bits = enc.bit_len();
-            let blob = enc.index().map(ChunkIndex::to_bytes).transpose()?;
-            (enc.bytes().to_vec(), bits, blob)
-        }
-        ContainerCodec::Delta => {
-            let (bytes, bits) = DeltaShapeShifter::new(group_size).encode(tensor)?;
-            (bytes, bits, None)
-        }
-    };
+    pack_with_policy_in(SchemeRegistry::global(), tensor, group_size, scheme, policy)
+}
+
+/// [`pack_with_policy`] against an explicit registry — the general form
+/// for embedders that restrict or extend the scheme set.
+///
+/// # Errors
+///
+/// As [`pack_with_scheme`].
+pub fn pack_with_policy_in(
+    registry: &SchemeRegistry,
+    tensor: &Tensor,
+    group_size: usize,
+    scheme: impl Into<SchemeId>,
+    policy: IndexPolicy,
+) -> Result<Vec<u8>, ContainerError> {
+    let id = scheme.into();
+    let scheme = registry.get(id)?;
+    let mut w = BitWriter::new();
+    let index = scheme.encode_into(tensor, group_size, policy, &mut w)?;
+    let index_blob = index.as_ref().map(ChunkIndex::to_bytes).transpose()?;
+    let bytes = w.as_bytes();
+    let bit_len = w.bit_len();
     let index_len = index_blob
         .as_ref()
         .map_or(Ok(0u32), |blob| index_block_len(blob.len()))?;
@@ -299,7 +346,7 @@ pub fn pack_with_policy(
     out.push(if index_blob.is_some() { VERSION_V2 } else { VERSION });
     out.push(tensor.dtype().bits());
     out.push(u8::from(tensor.signedness().is_signed()));
-    out.push(codec.to_byte());
+    out.push(id.as_byte());
     out.extend_from_slice(&(group_size as u16).to_le_bytes());
     out.extend_from_slice(&(tensor.len() as u64).to_le_bytes());
     out.extend_from_slice(&bit_len.to_le_bytes());
@@ -307,7 +354,7 @@ pub fn pack_with_policy(
         out.extend_from_slice(&index_len.to_le_bytes());
         out.extend_from_slice(&blob);
     }
-    out.extend_from_slice(&bytes);
+    out.extend_from_slice(bytes);
     Ok(out)
 }
 
@@ -349,9 +396,12 @@ pub fn info(bytes: &[u8]) -> Result<ContainerInfo, ContainerError> {
             )))
         }
     }?;
-    let codec = ContainerCodec::from_byte(bytes[7]).ok_or_else(|| {
-        ContainerError::Malformed(format!("unknown codec id {}", bytes[7]))
-    })?;
+    // Parsed permissively: the header reports whatever byte it carries,
+    // and the registry decides validity at unpack time with a typed
+    // `CodecError::UnknownScheme` (the old path collapsed unknown ids
+    // into an untyped Malformed string here).
+    // ss-lint: allow(panic-freedom) -- the HEADER_LEN check above guarantees byte 7 exists
+    let scheme = SchemeId::new(bytes[7]);
     let group_size = u16::from_le_bytes([bytes[8], bytes[9]]) as usize;
     if group_size == 0 || group_size > 256 {
         return Err(ContainerError::Malformed(format!(
@@ -394,7 +444,7 @@ pub fn info(bytes: &[u8]) -> Result<ContainerInfo, ContainerError> {
         len,
         stream_bits,
         index_bytes,
-        codec,
+        scheme,
     };
     let available = (bytes.len() - meta.stream_offset()) as u64 * 8;
     if stream_bits > available {
@@ -405,46 +455,58 @@ pub fn info(bytes: &[u8]) -> Result<ContainerInfo, ContainerError> {
     Ok(meta)
 }
 
-/// Unpacks an `SSPK` byte vector back into the original tensor.
+/// Unpacks an `SSPK` byte vector back into the original tensor,
+/// resolving the scheme wire id in the global [`SchemeRegistry`].
 ///
 /// A v2 container's chunk index is deserialized (its CRC-32 rejects any
-/// corruption) and drives the parallel decode path, with the worker count
-/// following `SS_THREADS` / the machine's parallelism; v1 containers
-/// decode sequentially exactly as before.
+/// corruption) and handed to the scheme, which drives the parallel decode
+/// path when it participates in indexing — the worker count follows
+/// `SS_THREADS` / the machine's parallelism; v1 containers decode
+/// sequentially exactly as before.
 ///
 /// # Errors
 ///
-/// [`ContainerError`] variants for framing problems, a corrupt index or a
+/// [`ContainerError`] variants for framing problems, an unregistered
+/// scheme id ([`CodecError::UnknownScheme`]), a corrupt index or a
 /// corrupt stream.
 pub fn unpack(bytes: &[u8]) -> Result<Tensor, ContainerError> {
+    unpack_in(SchemeRegistry::global(), bytes)
+}
+
+/// [`unpack`] against an explicit registry — the general form for
+/// embedders that restrict or extend the scheme set.
+///
+/// # Errors
+///
+/// As [`unpack`].
+pub fn unpack_in(registry: &SchemeRegistry, bytes: &[u8]) -> Result<Tensor, ContainerError> {
     let meta = info(bytes)?;
+    let scheme = registry.get(meta.scheme)?;
     // Checked before any use as a count: the 8-byte field wraps under
     // `as usize` on a 32-bit target, turning a hostile length into a
     // small-but-wrong allocation and a bogus decode.
     let len = checked_len(&meta)?;
     let stream = &bytes[meta.stream_offset()..];
-    let values = match meta.codec {
-        ContainerCodec::ShapeShifter => {
-            let codec = ShapeShifterCodec::new(meta.group_size);
-            if meta.index_bytes > 0 {
-                let blob = &bytes[HEADER_LEN + 4..HEADER_LEN + 4 + meta.index_bytes];
-                let index = ChunkIndex::from_bytes(blob)?;
-                codec.decode_stream_indexed(
-                    stream,
-                    meta.stream_bits,
-                    meta.dtype,
-                    len,
-                    &index,
-                    ss_core::par::thread_count(),
-                )?
-            } else {
-                codec.decode_stream(stream, meta.stream_bits, meta.dtype, len)?
-            }
-        }
-        ContainerCodec::Delta => {
-            DeltaShapeShifter::new(meta.group_size).decode(stream, meta.stream_bits, meta.dtype, len)?
-        }
+    let index = if meta.index_bytes > 0 {
+        let blob = &bytes[HEADER_LEN + 4..HEADER_LEN + 4 + meta.index_bytes];
+        Some(ChunkIndex::from_bytes(blob)?)
+    } else {
+        None
     };
+    let frame = StreamFrame {
+        bit_len: meta.stream_bits,
+        dtype: meta.dtype,
+        len,
+        group_size: meta.group_size,
+    };
+    let mut values = Vec::new();
+    scheme.decode_into(
+        stream,
+        &frame,
+        index.as_ref(),
+        ss_core::par::thread_count(),
+        &mut values,
+    )?;
     Ok(Tensor::from_vec(Shape::flat(len), meta.dtype, values)?)
 }
 
@@ -465,8 +527,9 @@ fn checked_len(meta: &ContainerInfo) -> Result<usize, ContainerError> {
 /// per-record decodes share one session's scratch. The stream is parsed
 /// sequentially (a v2 chunk index is validated side metadata for this
 /// path: its presence is honored in [`ContainerInfo::stream_offset`] but
-/// it does not fan the decode out). Delta containers fall back to the
-/// one-shot decoder, which has no session form.
+/// it does not fan the decode out). Every registered scheme decodes
+/// through the session's shared value scratch — the old Delta-only
+/// allocation fallback is gone.
 ///
 /// # Errors
 ///
@@ -477,29 +540,16 @@ pub fn unpack_with(
     out: &mut Tensor,
 ) -> Result<(), ContainerError> {
     let meta = info(bytes)?;
+    let scheme = SchemeRegistry::global().get(meta.scheme)?;
     let len = checked_len(&meta)?;
     let stream = &bytes[meta.stream_offset()..];
-    match meta.codec {
-        ContainerCodec::ShapeShifter => {
-            session.decode_stream_into(
-                stream,
-                meta.stream_bits,
-                meta.dtype,
-                len,
-                meta.group_size,
-                out,
-            )?;
-        }
-        ContainerCodec::Delta => {
-            let values = DeltaShapeShifter::new(meta.group_size).decode(
-                stream,
-                meta.stream_bits,
-                meta.dtype,
-                len,
-            )?;
-            *out = Tensor::from_vec(Shape::flat(len), meta.dtype, values)?;
-        }
-    }
+    let frame = StreamFrame {
+        bit_len: meta.stream_bits,
+        dtype: meta.dtype,
+        len,
+        group_size: meta.group_size,
+    };
+    session.decode_scheme_stream_into(scheme, stream, &frame, out)?;
     Ok(())
 }
 
@@ -578,9 +628,31 @@ mod tests {
     #[test]
     fn delta_codec_roundtrips() {
         let tensor = t(vec![1000, 1002, 1001, 999, 0, 0, 998, 30_000]);
-        let packed = pack_with_codec(&tensor, 4, ContainerCodec::Delta).unwrap();
-        assert_eq!(info(&packed).unwrap().codec, ContainerCodec::Delta);
+        let packed = pack_with_scheme(&tensor, 4, SchemeId::DELTA).unwrap();
+        assert_eq!(info(&packed).unwrap().scheme, SchemeId::DELTA);
         assert_eq!(unpack(&packed).unwrap(), tensor);
+    }
+
+    #[test]
+    fn plugin_schemes_roundtrip() {
+        let tensor = t(vec![0, 1, -1, 300, -32000, 0, 0, 7, 12, -12, 0, 9000]);
+        for id in [SchemeId::DPRED, SchemeId::ADABITS] {
+            let packed = pack_with_scheme(&tensor, 4, id).unwrap();
+            assert_eq!(info(&packed).unwrap().scheme, id);
+            assert_eq!(unpack(&packed).unwrap(), tensor, "scheme {id}");
+        }
+    }
+
+    #[test]
+    fn deprecated_codec_shims_delegate_to_the_registry() {
+        #![allow(deprecated)]
+        let tensor = t(vec![1000, 1002, 1001, 999, 0, 0, 998, 30_000]);
+        let via_shim = pack_with_codec(&tensor, 4, ContainerCodec::Delta).unwrap();
+        let via_registry = pack_with_scheme(&tensor, 4, SchemeId::DELTA).unwrap();
+        assert_eq!(via_shim, via_registry);
+        assert_eq!(ContainerCodec::ShapeShifter.to_byte(), 0);
+        assert_eq!(ContainerCodec::from_byte(1), Some(ContainerCodec::Delta));
+        assert_eq!(ContainerCodec::from_byte(2), None);
     }
 
     #[test]
@@ -590,7 +662,7 @@ mod tests {
         let packed = pack_with_policy(
             &tensor,
             16,
-            ContainerCodec::ShapeShifter,
+            SchemeId::SHAPESHIFTER,
             IndexPolicy::EveryGroups(2),
         )
         .unwrap();
@@ -600,13 +672,7 @@ mod tests {
         assert!(meta.index_overhead_bits_per_value() > 0.0);
         assert_eq!(unpack(&packed).unwrap(), tensor);
         // The v1 encoding of the same tensor holds the identical stream.
-        let v1 = pack_with_policy(
-            &tensor,
-            16,
-            ContainerCodec::ShapeShifter,
-            IndexPolicy::None,
-        )
-        .unwrap();
+        let v1 = pack_with_policy(&tensor, 16, SchemeId::SHAPESHIFTER, IndexPolicy::None).unwrap();
         let v1_meta = info(&v1).unwrap();
         assert_eq!(v1_meta.version, VERSION);
         assert_eq!(v1_meta.index_bytes, 0);
@@ -624,7 +690,7 @@ mod tests {
         let packed = pack_with_policy(
             &tensor,
             16,
-            ContainerCodec::ShapeShifter,
+            SchemeId::SHAPESHIFTER,
             IndexPolicy::EveryGroups(1),
         )
         .unwrap();
@@ -652,11 +718,17 @@ mod tests {
     }
 
     #[test]
-    fn unknown_codec_rejected() {
+    fn unknown_scheme_is_a_typed_error() {
         let tensor = t(vec![1, 2]);
         let mut packed = pack(&tensor, 16).unwrap();
         packed[7] = 9;
-        assert!(matches!(unpack(&packed), Err(ContainerError::Malformed(_))));
+        // `info` stays permissive (the id parses), `unpack` resolves it
+        // against the registry and reports the exact id it rejected.
+        assert_eq!(info(&packed).unwrap().scheme, SchemeId::new(9));
+        assert!(matches!(
+            unpack(&packed),
+            Err(ContainerError::Codec(CodecError::UnknownScheme { id: 9 }))
+        ));
     }
 
     #[test]
@@ -728,8 +800,9 @@ mod tests {
     fn unpack_with_matches_one_shot() {
         let mut session = ss_core::CodecSession::new(ss_core::CodecConfig::new()).unwrap();
         let mut out = t(vec![0]);
-        // ShapeShifter v1, ShapeShifter v2 (indexed) and Delta containers
-        // all decode identically through the session path.
+        // ShapeShifter v1, ShapeShifter v2 (indexed), Delta, DPRed and
+        // AdaBits containers all decode identically through the session
+        // path.
         let vals: Vec<i32> = (0..300).map(|i| (i * 37) % 2000 - 1000).collect();
         let tensor = t(vals);
         for packed in [
@@ -737,11 +810,13 @@ mod tests {
             pack_with_policy(
                 &tensor,
                 16,
-                ContainerCodec::ShapeShifter,
+                SchemeId::SHAPESHIFTER,
                 IndexPolicy::EveryGroups(2),
             )
             .unwrap(),
-            pack_with_codec(&tensor, 16, ContainerCodec::Delta).unwrap(),
+            pack_with_scheme(&tensor, 16, SchemeId::DELTA).unwrap(),
+            pack_with_scheme(&tensor, 16, SchemeId::DPRED).unwrap(),
+            pack_with_scheme(&tensor, 16, SchemeId::ADABITS).unwrap(),
         ] {
             unpack_with(&packed, &mut session, &mut out).unwrap();
             assert_eq!(out, tensor);

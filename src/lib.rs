@@ -78,6 +78,8 @@
 
 pub mod container;
 
+pub use ss_core::{ContainerScheme, SchemeId, SchemeRegistry, SchemeStream, StreamFrame};
+
 pub use ss_bitio as bitio;
 pub use ss_core as core;
 pub use ss_models as models;
@@ -89,11 +91,13 @@ pub use ss_tensor as tensor;
 /// Convenience prelude with the most common types.
 pub mod prelude {
     pub use ss_core::scheme::{
-        Base, CompressionScheme, ProfileScheme, SchemeCtx, ShapeShifterScheme, ZeroRle,
+        AdaBitsScheme, Base, CompressionScheme, DpRed, ProfileScheme, SchemeCtx,
+        ShapeShifterScheme, ZeroRle,
     };
     pub use ss_core::{
-        CodecConfig, CodecError, CodecSession, EncodedTensor, ExecPolicy, MeasureReport,
-        ShapeShifterCodec, WidthDetector,
+        CodecConfig, CodecError, CodecSession, ContainerScheme, EncodedTensor, ExecPolicy,
+        MeasureReport, SchemeId, SchemeRegistry, SchemeStream, ShapeShifterCodec, StreamFrame,
+        WidthDetector,
     };
     pub use ss_models::{zoo, LayerStats, Network, ValueGen};
     pub use ss_pipeline::{BatchReport, Pipeline, PipelineConfig, PipelineError};

@@ -1,15 +1,23 @@
 //! Fuzzing the `SSPK` file container: arbitrary bytes must never panic
-//! the parser or decoder, and valid containers must survive arbitrary
-//! truncation and single-byte corruption without panicking.
+//! the parser or decoder, valid containers must survive arbitrary
+//! truncation and single-byte corruption without panicking, and every
+//! unregistered scheme wire id must surface as a typed
+//! [`CodecError::UnknownScheme`] — never a panic or a misdispatch.
 
 use proptest::prelude::*;
-use shapeshifter::container;
+use shapeshifter::container::{self, ContainerError};
 use shapeshifter::prelude::*;
 
 fn arb_tensor() -> impl Strategy<Value = Tensor> {
     prop::collection::vec(-32_767i32..=32_767, 0..200).prop_map(|v| {
         Tensor::from_vec(Shape::flat(v.len()), FixedType::I16, v).expect("values fit i16")
     })
+}
+
+/// Every registered wire id, from the global registry itself — the fuzz
+/// corpus tracks future registrations automatically.
+fn registered_ids() -> Vec<SchemeId> {
+    SchemeRegistry::global().ids().collect()
 }
 
 /// Deterministic corpus of containers whose length fields are hostile:
@@ -29,7 +37,7 @@ fn oversized_length_corpus_yields_typed_errors() {
     let v2 = container::pack_with_policy(
         &t,
         16,
-        container::ContainerCodec::ShapeShifter,
+        SchemeId::SHAPESHIFTER,
         ss_core::IndexPolicy::EveryGroups(1),
     )
     .expect("packs");
@@ -57,6 +65,41 @@ fn oversized_length_corpus_yields_typed_errors() {
             container::unpack(&corrupt).is_err(),
             "index length {hostile:#x} must be rejected"
         );
+    }
+}
+
+/// All 256 wire-id bytes, exhaustively: a valid container rewritten to
+/// claim an unregistered id is a typed [`CodecError::UnknownScheme`]
+/// carrying that exact byte; rewriting to a *registered* id never
+/// panics (it decodes, or fails typed when the stream doesn't parse
+/// under the claimed scheme).
+#[test]
+fn every_unregistered_wire_id_is_a_typed_error() {
+    let t = Tensor::from_vec(
+        Shape::flat(48),
+        FixedType::I16,
+        (0..48).map(|i| (i % 7) * 40 - 120).collect(),
+    )
+    .expect("values fit i16");
+    let packed = container::pack(&t, 16).expect("packs");
+    let registered = registered_ids();
+    for id in 0u8..=u8::MAX {
+        let mut claimed = packed.clone();
+        claimed[7] = id;
+        let r = container::unpack(&claimed);
+        if registered.contains(&SchemeId::new(id)) {
+            // A registered scheme: decode may succeed (id 0 — the true
+            // scheme) or fail typed (the stream doesn't parse under the
+            // claimed scheme); never a panic.
+            let _ = r;
+        } else {
+            match r {
+                Err(ContainerError::Codec(CodecError::UnknownScheme { id: got })) => {
+                    assert_eq!(got, id, "error must carry the offending byte");
+                }
+                other => panic!("id {id}: expected UnknownScheme, got {other:?}"),
+            }
+        }
     }
 }
 
@@ -88,7 +131,7 @@ proptest! {
         let packed = container::pack_with_policy(
             &t,
             16,
-            container::ContainerCodec::ShapeShifter,
+            SchemeId::SHAPESHIFTER,
             ss_core::IndexPolicy::EveryGroups(chunk_groups),
         )
         .unwrap();
@@ -127,11 +170,8 @@ proptest! {
         pos in any::<prop::sample::Index>(),
         xor in 1u8..=255,
     ) {
-        for codec in [
-            container::ContainerCodec::ShapeShifter,
-            container::ContainerCodec::Delta,
-        ] {
-            let mut packed = container::pack_with_codec(&t, 16, codec).unwrap();
+        for scheme in registered_ids() {
+            let mut packed = container::pack_with_scheme(&t, 16, scheme).unwrap();
             if packed.is_empty() {
                 continue;
             }
@@ -144,13 +184,26 @@ proptest! {
     }
 
     #[test]
-    fn both_codecs_roundtrip(t in arb_tensor(), group in 1usize..=64) {
-        for codec in [
-            container::ContainerCodec::ShapeShifter,
-            container::ContainerCodec::Delta,
-        ] {
-            let packed = container::pack_with_codec(&t, group, codec).unwrap();
+    fn every_registered_scheme_roundtrips(t in arb_tensor(), group in 1usize..=64) {
+        for scheme in registered_ids() {
+            let packed = container::pack_with_scheme(&t, group, scheme).unwrap();
+            prop_assert_eq!(container::info(&packed).unwrap().scheme, scheme);
             prop_assert_eq!(&container::unpack(&packed).unwrap(), &t);
+        }
+    }
+
+    #[test]
+    fn random_wire_id_rewrite_never_panics(t in arb_tensor(), id in any::<u8>()) {
+        let mut packed = container::pack(&t, 16).unwrap();
+        packed[7] = id;
+        let registered = registered_ids().contains(&SchemeId::new(id));
+        match container::unpack(&packed) {
+            Ok(_) => prop_assert!(registered, "unregistered id {id} decoded"),
+            Err(ContainerError::Codec(CodecError::UnknownScheme { id: got })) => {
+                prop_assert!(!registered, "registered id {id} reported unknown");
+                prop_assert_eq!(got, id);
+            }
+            Err(_) => prop_assert!(registered, "unregistered id {id} mistyped error"),
         }
     }
 }
